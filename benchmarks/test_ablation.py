@@ -1,0 +1,54 @@
+"""Ablation study: which of the three optimisations buys what.
+
+Not a paper figure — DESIGN.md calls this out as the natural follow-up
+question the paper leaves implicit: under the §8 spam+ECN workload, how
+much of the combined gain does each optimisation contribute on its own?
+The fork-after-trust architecture should dominate (it targets the 20-45%
+rogue connections), with MFS next (duplicated disk writes at ≈7 rcpts) and
+prefix DNSBL the smallest single win.
+"""
+
+from repro.clients import run_closed_timed
+from repro.core import SpamAwareOptions, build_server
+from repro.traces import (BotnetModel, EcnBounceSeries, SinkholeConfig,
+                          SinkholeTraceGenerator, with_bounces)
+
+CONFIGS = [
+    ("baseline", SpamAwareOptions.none()),
+    ("fork-after-trust", SpamAwareOptions(True, False, False)),
+    ("mfs", SpamAwareOptions(False, True, False)),
+    ("prefix-dnsbl", SpamAwareOptions(False, False, True)),
+    ("all-three", SpamAwareOptions.all()),
+]
+
+
+def run_ablation():
+    generator = SinkholeTraceGenerator(SinkholeConfig().scaled(8_000))
+    prefixes = generator.botnet()
+    zone = BotnetModel.zone_ips(prefixes)
+    bounce, _ = EcnBounceSeries().mean_ratios()
+    trace = with_bounces(generator.generate(prefixes), bounce_ratio=bounce)
+    goodput = {}
+    for name, options in CONFIGS:
+        metrics = run_closed_timed(
+            trace,
+            lambda sim, o=options: build_server(sim, o, zone),
+            concurrency=600, duration=30, warmup=8)
+        goodput[name] = metrics.goodput()
+    return goodput
+
+
+def test_ablation(benchmark):
+    goodput = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    base = goodput["baseline"]
+    # every single optimisation helps on its own
+    for name in ("fork-after-trust", "mfs", "prefix-dnsbl"):
+        assert goodput[name] > base * 0.98, (name, goodput)
+    # fork-after-trust is the dominant single win on a rogue-heavy workload
+    assert goodput["fork-after-trust"] > goodput["mfs"]
+    assert goodput["fork-after-trust"] > goodput["prefix-dnsbl"]
+    # the combination beats every single optimisation
+    assert goodput["all-three"] >= max(
+        goodput[n] for n, _ in CONFIGS[:-1]) * 0.98
+    # and the combined gain is in the §8 ballpark
+    assert goodput["all-three"] / base >= 1.25

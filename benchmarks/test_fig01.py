@@ -1,0 +1,6 @@
+"""Benchmark: regenerate Figure 1 MTA survey and verify its paper anchors."""
+
+
+def test_fig01(experiment_runner):
+    result = experiment_runner("fig1")
+    assert result.rows

@@ -1,0 +1,6 @@
+"""Benchmark: regenerate Figure 3 ECN bounce series and verify its paper anchors."""
+
+
+def test_fig03(experiment_runner):
+    result = experiment_runner("fig3")
+    assert result.rows

@@ -1,0 +1,6 @@
+"""Benchmark: regenerate Figure 4 recipients CDF and verify its paper anchors."""
+
+
+def test_fig04(experiment_runner):
+    result = experiment_runner("fig4")
+    assert result.rows

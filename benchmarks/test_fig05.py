@@ -1,0 +1,6 @@
+"""Benchmark: regenerate Figure 5 DNSBL latency CDF and verify its paper anchors."""
+
+
+def test_fig05(experiment_runner):
+    result = experiment_runner("fig5")
+    assert result.rows

@@ -1,0 +1,13 @@
+"""Benchmark: Figure 8 — goodput vs bounce ratio, vanilla vs hybrid.
+
+The headline concurrency-architecture result: vanilla postfix's goodput
+collapses with the bounce ratio while fork-after-trust stays flat, and the
+context-switch count roughly halves.
+"""
+
+
+def test_fig08(experiment_runner):
+    result = experiment_runner("fig8")
+    rows = {float(r["bounce_ratio"]): r for r in result.rows}
+    assert float(rows[0.9]["hybrid_goodput"]) > \
+        2.5 * float(rows[0.9]["vanilla_goodput"])

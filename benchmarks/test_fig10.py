@@ -1,0 +1,13 @@
+"""Benchmark: Figure 10 — storage backends vs recipients on Ext3.
+
+Checks the ×7.2 vanilla growth, the +39% MFS gain at 15 recipients, and the
+maildir/hardlink collapse, plus the §6.3 sinkhole-trace MFS gain (+20%).
+"""
+
+
+def test_fig10(experiment_runner):
+    experiment_runner("fig10")
+
+
+def test_mfs_sinkhole_gain(experiment_runner):
+    experiment_runner("mfs-sinkhole")

@@ -1,0 +1,9 @@
+"""Benchmark: Figure 11 — storage backends vs recipients on ReiserFS.
+
+MFS beats hardlink / vanilla / maildir by ≈29.5% / 31% / 212% at 15
+recipients; hardlink recovers most of maildir's Ext3 collapse.
+"""
+
+
+def test_fig11(experiment_runner):
+    experiment_runner("fig11")

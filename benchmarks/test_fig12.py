@@ -1,0 +1,6 @@
+"""Benchmark: regenerate Figure 12 blacklisted IPs per prefix and verify its paper anchors."""
+
+
+def test_fig12(experiment_runner):
+    result = experiment_runner("fig12")
+    assert result.rows

@@ -1,0 +1,6 @@
+"""Benchmark: regenerate Figure 13 interarrival CDFs and verify its paper anchors."""
+
+
+def test_fig13(experiment_runner):
+    result = experiment_runner("fig13")
+    assert result.rows

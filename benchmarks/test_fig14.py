@@ -1,0 +1,12 @@
+"""Benchmark: Figure 14 — throughput vs offered rate, IP vs prefix DNSBL.
+
+The two schemes tie at low offered load; the prefix scheme wins ≈10.8% at
+200 connections/sec where the per-query CPU and latency of cache misses
+bite.
+"""
+
+
+def test_fig14(experiment_runner):
+    result = experiment_runner("fig14")
+    gaps = {int(r["rate"]): float(r["gap_percent"]) for r in result.rows}
+    assert gaps[200] > gaps[min(gaps)]

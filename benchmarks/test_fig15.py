@@ -1,0 +1,12 @@
+"""Benchmark: Figure 15 — DNSBL cache hit ratios and lookup-time CDF.
+
+Replays the sinkhole trace against 24h-TTL caches: 73.8% hits per-IP vs
+83.9% per-/25 bitmap; actual DNS queries cut by ≈39%.
+"""
+
+
+def test_fig15(experiment_runner):
+    result = experiment_runner("fig15")
+    rows = {r["strategy"]: r for r in result.rows}
+    assert float(rows["prefix"]["query_fraction"]) < \
+        float(rows["ip"]["query_fraction"])

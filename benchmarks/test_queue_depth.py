@@ -1,0 +1,36 @@
+"""Sensitivity of the hybrid architecture to the master→smtpd buffer depth.
+
+§5.3 estimates that the 64 KB UNIX-socket buffer holds ≈28 delegated tasks
+and argues the finite buffers act "as a natural throttle for the master
+process".  This ablation sweeps the depth: a depth of 1 serialises the
+hand-off (losing the vector-send batching), while the 28-task default and
+anything deeper perform equivalently — the throttle is not the bottleneck
+at the paper's operating point.
+"""
+
+from repro.clients import run_closed_timed
+from repro.server import MailServerSim, ServerConfig
+from repro.traces import bounce_sweep_trace
+
+DEPTHS = (1, 4, 28, 128)
+
+
+def run_sweep():
+    trace = bounce_sweep_trace(0.25, n_connections=3_000)
+    goodput = {}
+    for depth in DEPTHS:
+        config = ServerConfig.hybrid(task_queue_depth=depth)
+        metrics = run_closed_timed(
+            trace, lambda sim, c=config: MailServerSim(sim, c),
+            concurrency=600, duration=25, warmup=6)
+        goodput[depth] = metrics.goodput()
+    return goodput
+
+
+def test_queue_depth_sensitivity(benchmark):
+    goodput = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    # the paper's 28-task estimate is on the flat part of the curve
+    assert goodput[28] >= 0.95 * goodput[128]
+    # even a depth of 1 must not deadlock or collapse (the master blocks
+    # briefly but the throttle is safe)
+    assert goodput[1] > 0.5 * goodput[28]

@@ -1,0 +1,6 @@
+"""Benchmark: regenerate Table 1 trace statistics and verify its paper anchors."""
+
+
+def test_table1(experiment_runner):
+    result = experiment_runner("table1")
+    assert result.rows

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Simulate a university department mail server: stock vs spam-aware.
+
+Builds the Univ workload (67% spam, random-guessing bounces, botnet
+origins), then runs the calibrated discrete-event simulator twice — once as
+stock postfix and once with all three spam-aware optimisations — and prints
+the §8-style comparison, including resource-level detail the paper argues
+about (context switches, forks, disk time, DNSBL queries).
+
+Run:  python examples/departmental_server.py [connections]
+"""
+
+import sys
+
+from repro.clients import run_closed_timed
+from repro.core import build_spamaware, build_vanilla
+from repro.traces import UnivConfig, UnivTraceGenerator
+
+
+def describe(label, metrics) -> None:
+    s = metrics.summary()
+    print(f"  {label}:")
+    print(f"    goodput           {metrics.goodput():8.1f} mails/s")
+    print(f"    mailbox writes    {metrics.delivery_throughput():8.1f} /s")
+    print(f"    context switches  {metrics.context_switches:8d}")
+    print(f"    forks             {metrics.forks:8d}")
+    print(f"    cpu utilisation   {s['cpu_utilisation']:8.2f}")
+    print(f"    disk utilisation  {s['disk_utilisation']:8.2f}")
+    print(f"    DNSBL queries     {metrics.dnsbl_queries:8d} "
+          f"({metrics.dnsbl_query_fraction() * 100:.1f}% of lookups)")
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 10_000
+    print(f"generating Univ-style departmental workload "
+          f"({n} connections)...")
+    trace = UnivTraceGenerator(UnivConfig().scaled(n)).generate()
+    stats = trace.stats()
+    print(f"  {stats.connections} connections, spam ratio "
+          f"{stats.spam_ratio:.2f}, bounce connections "
+          f"{stats.bounce_connections}, unfinished "
+          f"{stats.unfinished_connections}")
+
+    spam_ips = ({c.client_ip for c in trace for m in c.mails if m.is_spam}
+                | {c.client_ip for c in trace if c.unfinished})
+    print(f"  DNSBL zone: {len(spam_ips)} blacklisted origins\n")
+
+    print("running 45 simulated seconds of sustained load "
+          "(closed system, 600 clients)...")
+    vanilla = run_closed_timed(
+        trace, lambda sim: build_vanilla(sim, spam_ips),
+        concurrency=600, duration=45, warmup=10)
+    aware = run_closed_timed(
+        trace, lambda sim: build_spamaware(sim, spam_ips),
+        concurrency=600, duration=45, warmup=10)
+
+    describe("stock postfix (process-per-connection, mbox, per-IP DNSBL)",
+             vanilla)
+    describe("spam-aware (fork-after-trust, MFS, DNSBLv6)", aware)
+
+    gain = aware.goodput() / vanilla.goodput() - 1
+    cs = 1 - aware.context_switches / vanilla.context_switches
+    qred = 1 - aware.dnsbl_query_fraction() / vanilla.dnsbl_query_fraction()
+    print(f"\n=> throughput +{gain * 100:.1f}%  "
+          f"(paper §8 reports +18% for the Univ trace)")
+    print(f"=> context switches −{cs * 100:.1f}%, "
+          f"DNSBL queries −{qred * 100:.1f}% "
+          "(paper: −20% queries on Univ)")
+
+
+if __name__ == "__main__":
+    main()

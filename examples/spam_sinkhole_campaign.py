@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Analyse a botnet spam campaign and size the DNSBLv6 win.
+
+Regenerates a scaled version of the paper's two-month spam sinkhole trace,
+prints the workload characteristics the paper reports (Figs. 4, 12, 13),
+then replays the trace against per-IP and prefix-based DNSBL resolvers with
+a 24-hour cache to measure the query savings (Fig. 15).
+
+Run:  python examples/spam_sinkhole_campaign.py [connections]
+"""
+
+import sys
+
+from repro.dnsbl import (DnsblResolver, DnsblServer, DnsblZone, IpStrategy,
+                         PROVIDERS, PrefixStrategy)
+from repro.sim.random import RngStream
+from repro.sim.stats import Cdf
+from repro.traces import (BotnetModel, SinkholeConfig, SinkholeTraceGenerator,
+                          interarrival_cdfs)
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 20_000
+    generator = SinkholeTraceGenerator(SinkholeConfig().scaled(n))
+    prefixes = generator.botnet()
+    trace = generator.generate(prefixes)
+    stats = trace.stats()
+
+    print(f"sinkhole campaign: {stats.connections} connections over "
+          f"{trace.duration / 86400:.0f} days")
+    print(f"  spam origins: {stats.unique_ips} IPs in "
+          f"{stats.unique_prefixes24} /24 prefixes "
+          f"({stats.unique_ips / stats.unique_prefixes24:.2f} bots/prefix)")
+    print(f"  recipients per connection: mean {stats.mean_recipients:.2f}, "
+          f"median {stats.recipients_cdf.median():.0f} (Fig. 4)")
+
+    infection = Cdf(p.blacklisted_count for p in prefixes)
+    print(f"  prefix infection density (Fig. 12): "
+          f"{infection.fraction_above(10) * 100:.0f}% of prefixes have >10 "
+          f"CBL-listed hosts, {infection.fraction_above(100) * 100:.1f}% "
+          "have >100")
+
+    by_ip, by_pfx = interarrival_cdfs(trace)
+    print(f"  temporal locality (Fig. 13): median interarrival "
+          f"{by_ip.median() / 60:.0f} min per IP vs "
+          f"{by_pfx.median() / 60:.0f} min per /24 prefix")
+
+    print("\nreplaying trace against a 24h-cached DNSBL (Fig. 15):")
+    zone_ips = BotnetModel.zone_ips(prefixes)
+    for name, strategy in (("per-IP (classic)", IpStrategy()),
+                           ("per-/25 bitmap (DNSBLv6)", PrefixStrategy())):
+        zone = DnsblZone("cbl.abuseat.org", zone_ips)
+        resolver = DnsblResolver(DnsblServer(zone), strategy,
+                                 latency_model=PROVIDERS["cbl.abuseat.org"],
+                                 rng=RngStream(1))
+        listed = waited = 0
+        for conn in trace:
+            result = resolver.lookup(conn.client_ip, conn.t)
+            listed += result.listed
+            waited += result.latency
+        print(f"  {name:26s} hit ratio "
+              f"{resolver.cache_stats.hit_ratio * 100:5.1f}%  "
+              f"queries sent {resolver.queries_sent:6d}  "
+              f"total lookup wait {waited:6.1f}s  "
+              f"(blacklisted verdicts: {listed})")
+    print("\nThe bitmap scheme answers neighbouring bots from cache — "
+          "that is the ~39% query reduction of §7.2.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Shim so the package installs in environments without the ``wheel`` package.
+
+``pip install -e .`` needs ``wheel`` to build a PEP 660 editable wheel; this
+offline environment only ships setuptools, so ``python setup.py develop``
+remains the supported editable-install path.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,32 @@
+"""repro — reproduction of "The Case for Spam-Aware High Performance Mail
+Server Architecture" (Pathak, Jafri, Hu; ICDCS 2009).
+
+The package implements the paper's three spam-aware optimisations and every
+substrate they need:
+
+* :mod:`repro.smtp` — sans-IO SMTP with the fork-after-trust boundary;
+* :mod:`repro.mfs` — the single-copy record-oriented mail file system;
+* :mod:`repro.dnsbl` — DNS wire codec, DNSBL servers, prefix-based DNSBLv6;
+* :mod:`repro.storage` — mbox/maildir/hardlink backends and FS cost models;
+* :mod:`repro.sim` + :mod:`repro.server` + :mod:`repro.clients` — the
+  discrete-event mail-server simulator behind the paper's evaluation;
+* :mod:`repro.net` — real asyncio SMTP/DNSBL servers and load generators;
+* :mod:`repro.traces` — Univ / sinkhole / ECN / botnet workload models;
+* :mod:`repro.harness` — one experiment per table and figure;
+* :mod:`repro.core` — the assembled spam-aware server (§8).
+"""
+
+from . import (clients, core, dnsbl, harness, mfs, net, server, sim, smtp,
+               storage, traces)
+from .errors import (ConfigError, DnsError, MfsError, ProtocolError,
+                     ReproError, StorageError, TraceError)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "clients", "core", "dnsbl", "harness", "mfs", "net", "server", "sim",
+    "smtp", "storage", "traces",
+    "ConfigError", "DnsError", "MfsError", "ProtocolError", "ReproError",
+    "StorageError", "TraceError",
+    "__version__",
+]

@@ -1,0 +1,7 @@
+"""Workload drivers: closed-system and open-system clients (Table 1)."""
+
+from .closed import ClosedLoopClient, run_closed, run_closed_timed
+from .open import OpenLoopClient, run_open
+
+__all__ = ["ClosedLoopClient", "run_closed", "run_closed_timed",
+           "OpenLoopClient", "run_open"]

@@ -1,0 +1,7 @@
+"""Top-level façade: assemble the paper's three optimisations (§8)."""
+
+from .spamaware import (SpamAwareOptions, build_server, build_spamaware,
+                        build_vanilla, make_dnsbl_bank, DNSBL_TTL)
+
+__all__ = ["SpamAwareOptions", "build_server", "build_spamaware",
+           "build_vanilla", "make_dnsbl_bank", "DNSBL_TTL"]

@@ -1,0 +1,220 @@
+"""DNS wire format (RFC 1035 subset).
+
+Enough of the DNS message format to implement DNSBL queries faithfully: a
+12-byte header, QNAME/QTYPE/QCLASS questions, and A / AAAA / TXT answers.
+Name compression pointers are understood on decode (resolvers must accept
+them) and never emitted on encode (always legal).
+
+This codec backs both the in-process DNSBL server used by the simulator and
+the real UDP server in :mod:`repro.net.dns`.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..errors import DnsError
+
+__all__ = [
+    "QTYPE_A", "QTYPE_AAAA", "QTYPE_TXT", "QCLASS_IN",
+    "RCODE_NOERROR", "RCODE_NXDOMAIN", "RCODE_SERVFAIL",
+    "Question", "ResourceRecord", "DnsMessage",
+    "encode_name", "decode_name",
+]
+
+QTYPE_A = 1
+QTYPE_TXT = 16
+QTYPE_AAAA = 28
+QCLASS_IN = 1
+
+RCODE_NOERROR = 0
+RCODE_SERVFAIL = 2
+RCODE_NXDOMAIN = 3
+
+_MAX_LABEL = 63
+_MAX_NAME = 255
+_POINTER_MASK = 0xC0
+
+
+def encode_name(name: str) -> bytes:
+    """Encode a domain name as length-prefixed labels.
+
+    >>> encode_name("a.bc")
+    b'\\x01a\\x02bc\\x00'
+    """
+    if name.endswith("."):
+        name = name[:-1]
+    out = bytearray()
+    if name:
+        for label in name.split("."):
+            raw = label.encode("ascii")
+            if not raw:
+                raise DnsError(f"empty label in name {name!r}")
+            if len(raw) > _MAX_LABEL:
+                raise DnsError(f"label too long in name {name!r}")
+            out.append(len(raw))
+            out += raw
+    out.append(0)
+    if len(out) > _MAX_NAME:
+        raise DnsError(f"name too long: {name!r}")
+    return bytes(out)
+
+
+def decode_name(data: bytes, offset: int) -> tuple[str, int]:
+    """Decode a (possibly compressed) name; returns ``(name, next_offset)``.
+
+    ``next_offset`` is the offset just past the name *in the original
+    stream* (i.e. past the pointer if one was followed).
+    """
+    labels: list[str] = []
+    jumps = 0
+    next_offset: Optional[int] = None
+    pos = offset
+    while True:
+        if pos >= len(data):
+            raise DnsError("truncated name")
+        length = data[pos]
+        if length & _POINTER_MASK == _POINTER_MASK:
+            if pos + 1 >= len(data):
+                raise DnsError("truncated compression pointer")
+            if next_offset is None:
+                next_offset = pos + 2
+            pointer = ((length & 0x3F) << 8) | data[pos + 1]
+            if pointer >= pos:
+                raise DnsError("forward compression pointer")
+            jumps += 1
+            if jumps > 32:
+                raise DnsError("compression pointer loop")
+            pos = pointer
+            continue
+        if length & _POINTER_MASK:
+            raise DnsError(f"reserved label type {length:#x}")
+        pos += 1
+        if length == 0:
+            break
+        if pos + length > len(data):
+            raise DnsError("truncated label")
+        labels.append(data[pos:pos + length].decode("ascii", "replace"))
+        pos += length
+    return ".".join(labels), (next_offset if next_offset is not None else pos)
+
+
+@dataclass(frozen=True)
+class Question:
+    name: str
+    qtype: int = QTYPE_A
+    qclass: int = QCLASS_IN
+
+    def encode(self) -> bytes:
+        return encode_name(self.name) + struct.pack("!HH", self.qtype,
+                                                    self.qclass)
+
+
+@dataclass(frozen=True)
+class ResourceRecord:
+    name: str
+    rtype: int
+    ttl: int
+    rdata: bytes
+    rclass: int = QCLASS_IN
+
+    def encode(self) -> bytes:
+        return (encode_name(self.name)
+                + struct.pack("!HHIH", self.rtype, self.rclass, self.ttl,
+                              len(self.rdata))
+                + self.rdata)
+
+    @property
+    def a_address(self) -> str:
+        """The dotted-quad address of an A record."""
+        if self.rtype != QTYPE_A or len(self.rdata) != 4:
+            raise DnsError("not an A record")
+        return ".".join(str(b) for b in self.rdata)
+
+    @property
+    def aaaa_bits(self) -> int:
+        """The 128-bit value of an AAAA record (DNSBLv6 bitmaps, §7)."""
+        if self.rtype != QTYPE_AAAA or len(self.rdata) != 16:
+            raise DnsError("not an AAAA record")
+        return int.from_bytes(self.rdata, "big")
+
+
+@dataclass
+class DnsMessage:
+    """A DNS query or response."""
+
+    txid: int = 0
+    is_response: bool = False
+    rcode: int = RCODE_NOERROR
+    recursion_desired: bool = True
+    questions: list[Question] = field(default_factory=list)
+    answers: list[ResourceRecord] = field(default_factory=list)
+    authorities: list[ResourceRecord] = field(default_factory=list)
+    additionals: list[ResourceRecord] = field(default_factory=list)
+
+    @classmethod
+    def query(cls, name: str, qtype: int, txid: int = 0) -> "DnsMessage":
+        return cls(txid=txid, questions=[Question(name, qtype)])
+
+    def response(self, rcode: int = RCODE_NOERROR,
+                 answers: Optional[list[ResourceRecord]] = None) -> "DnsMessage":
+        """Build a response to this query."""
+        return DnsMessage(txid=self.txid, is_response=True, rcode=rcode,
+                          recursion_desired=self.recursion_desired,
+                          questions=list(self.questions),
+                          answers=list(answers or []))
+
+    def encode(self) -> bytes:
+        flags = 0
+        if self.is_response:
+            flags |= 0x8000
+        if self.recursion_desired:
+            flags |= 0x0100
+        if self.is_response:
+            flags |= 0x0080  # recursion available
+        flags |= self.rcode & 0x0F
+        out = bytearray(struct.pack(
+            "!HHHHHH", self.txid, flags, len(self.questions),
+            len(self.answers), len(self.authorities), len(self.additionals)))
+        for q in self.questions:
+            out += q.encode()
+        for rr in self.answers + self.authorities + self.additionals:
+            out += rr.encode()
+        return bytes(out)
+
+    @classmethod
+    def decode(cls, data: bytes) -> "DnsMessage":
+        if len(data) < 12:
+            raise DnsError(f"short DNS message ({len(data)} bytes)")
+        txid, flags, qd, an, ns, ar = struct.unpack("!HHHHHH", data[:12])
+        msg = cls(txid=txid, is_response=bool(flags & 0x8000),
+                  rcode=flags & 0x0F,
+                  recursion_desired=bool(flags & 0x0100))
+        offset = 12
+        for _ in range(qd):
+            name, offset = decode_name(data, offset)
+            if offset + 4 > len(data):
+                raise DnsError("truncated question")
+            qtype, qclass = struct.unpack_from("!HH", data, offset)
+            offset += 4
+            msg.questions.append(Question(name, qtype, qclass))
+        for section, count in ((msg.answers, an), (msg.authorities, ns),
+                               (msg.additionals, ar)):
+            for _ in range(count):
+                rr, offset = cls._decode_rr(data, offset)
+                section.append(rr)
+        return msg
+
+    @staticmethod
+    def _decode_rr(data: bytes, offset: int) -> tuple[ResourceRecord, int]:
+        name, offset = decode_name(data, offset)
+        if offset + 10 > len(data):
+            raise DnsError("truncated resource record")
+        rtype, rclass, ttl, rdlen = struct.unpack_from("!HHIH", data, offset)
+        offset += 10
+        if offset + rdlen > len(data):
+            raise DnsError("truncated rdata")
+        rdata = data[offset:offset + rdlen]
+        return ResourceRecord(name, rtype, ttl, rdata, rclass), offset + rdlen

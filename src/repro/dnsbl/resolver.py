@@ -1,0 +1,217 @@
+"""Caching DNSBL resolver with IP-based and prefix-based strategies.
+
+This is the *mail-server side* of §7: before accepting a connection the
+server resolves the client IP against a blacklist.  Two strategies:
+
+* :class:`IpStrategy` — classic per-IP A queries; each distinct IP is a
+  cache entry.
+* :class:`PrefixStrategy` — DNSBLv6 AAAA queries; one cache entry covers a
+  whole /25, so a query for any neighbour is a hit (§7.1: "cache the bitmap
+  for resolving subsequent queries for any IP in the same /25 prefix").
+
+Lookups go through the real DNS codec (query message → server → response
+message) so the wire behaviour matches what the asyncio UDP stack does; the
+remote's *latency* is drawn from a :class:`~repro.dnsbl.latency.LatencyModel`
+on cache misses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Protocol
+
+from ..errors import DnsError
+from ..sim.random import RngStream
+from .bitmap import (bitmap_bit_for_ip, bitmap_test, ip_query_name,
+                     prefix_query_name, split_ip)
+from .cache import CacheStats, TtlCache
+from .latency import LatencyModel
+from .message import QTYPE_A, QTYPE_AAAA, RCODE_NOERROR, DnsMessage
+from .server import DnsblServer
+
+__all__ = ["LookupResult", "DnsblResolver", "DnsblBank", "IpStrategy",
+           "PrefixStrategy", "parallel_lookup"]
+
+
+@dataclass(frozen=True)
+class LookupResult:
+    """Outcome of one blacklist lookup."""
+
+    ip: str
+    listed: bool
+    cache_hit: bool
+    latency: float           # seconds the lookup took (0 on cache hits)
+    queried_name: str = ""   # DNS name queried on a miss
+    queries_issued: int = 0  # actual DNS queries sent (0 on cache hits)
+
+
+class _Strategy(Protocol):
+    def cache_key(self, ip: str) -> object: ...
+    def query(self, ip: str, zone_origin: str) -> DnsMessage: ...
+    def interpret(self, ip: str, response: DnsMessage) -> object: ...
+    def is_listed(self, ip: str, cached_value: object) -> bool: ...
+
+
+class IpStrategy:
+    """Classic per-IP lookup; caches the listing code (or None)."""
+
+    name = "ip"
+
+    def cache_key(self, ip: str) -> object:
+        return ip
+
+    def query(self, ip: str, zone_origin: str) -> DnsMessage:
+        return DnsMessage.query(ip_query_name(ip, zone_origin), QTYPE_A)
+
+    def interpret(self, ip: str, response: DnsMessage) -> object:
+        if response.rcode != RCODE_NOERROR or not response.answers:
+            return None
+        return response.answers[0].a_address
+
+    def is_listed(self, ip: str, cached_value: object) -> bool:
+        return cached_value is not None
+
+
+class PrefixStrategy:
+    """DNSBLv6 /25-bitmap lookup; caches the whole bitmap."""
+
+    name = "prefix"
+
+    def cache_key(self, ip: str) -> object:
+        a, b, c, d = split_ip(ip)
+        return (f"{a}.{b}.{c}", 0 if d < 128 else 1)
+
+    def query(self, ip: str, zone_origin: str) -> DnsMessage:
+        return DnsMessage.query(prefix_query_name(ip, zone_origin),
+                                QTYPE_AAAA)
+
+    def interpret(self, ip: str, response: DnsMessage) -> object:
+        if response.rcode != RCODE_NOERROR or not response.answers:
+            return 0
+        return response.answers[0].aaaa_bits
+
+    def is_listed(self, ip: str, cached_value: object) -> bool:
+        return bitmap_test(int(cached_value), bitmap_bit_for_ip(ip))
+
+
+class DnsblResolver:
+    """A caching resolver bound to one DNSBL server and one strategy."""
+
+    def __init__(self, server: DnsblServer, strategy: _Strategy,
+                 ttl: float = 86_400.0,
+                 latency_model: Optional[LatencyModel] = None,
+                 rng: Optional[RngStream] = None):
+        self.server = server
+        self.strategy = strategy
+        self.cache = TtlCache(ttl=ttl)
+        self.latency_model = latency_model
+        self.rng = rng or RngStream(7)
+        self.queries_sent = 0
+        self.lookups = 0
+
+    @property
+    def cache_stats(self) -> CacheStats:
+        return self.cache.stats
+
+    @property
+    def query_fraction(self) -> float:
+        """Fraction of lookups that actually hit the network (Fig. 15)."""
+        return self.queries_sent / self.lookups if self.lookups else 0.0
+
+    def lookup(self, ip: str, now: float) -> LookupResult:
+        """Resolve the blacklist status of ``ip`` at (simulated) time ``now``.
+
+        Cached values are wrapped in :class:`_Cached` so that cached
+        *negative* answers (``None`` codes / all-zero bitmaps) are
+        distinguishable from cache misses — negative caching matters: most
+        lookups against a blacklist come back clean.
+        """
+        self.lookups += 1
+        key = self.strategy.cache_key(ip)
+        cached = self.cache.get(key, now)
+        if cached is not None:
+            return LookupResult(
+                ip=ip, listed=self.strategy.is_listed(ip, cached.value),
+                cache_hit=True, latency=0.0)
+        query = self.strategy.query(ip, self.server.zone.origin)
+        self.queries_sent += 1
+        # Round-trip through the wire codec for fidelity with the UDP stack.
+        response = DnsMessage.decode(self.server.handle_wire(query.encode()))
+        value = self.strategy.interpret(ip, response)
+        self.cache.put(key, _Cached(value), now)
+        latency = (self.latency_model.sample(self.rng)
+                   if self.latency_model else 0.0)
+        return LookupResult(ip=ip, listed=self.strategy.is_listed(ip, value),
+                            cache_hit=False, latency=latency,
+                            queried_name=query.questions[0].name,
+                            queries_issued=1)
+
+
+class _Cached:
+    """Wrapper distinguishing cached negative answers from cache misses."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: object):
+        self.value = value
+
+
+class DnsblBank:
+    """Parallel lookups against several DNSBL services (paper footnote 2:
+    "IP-based blacklisting works well if many blacklists are queried
+    simultaneously for the same IP").
+
+    One resolver (cache) per provider; a check fans out to all providers
+    concurrently, so the check's latency is the *maximum* of the individual
+    lookups and its CPU cost is one query per provider that missed.
+    """
+
+    def __init__(self, resolvers: list[DnsblResolver]):
+        if not resolvers:
+            raise DnsError("DnsblBank needs at least one resolver")
+        self.resolvers = resolvers
+
+    @property
+    def lookups(self) -> int:
+        return self.resolvers[0].lookups
+
+    @property
+    def queries_sent(self) -> int:
+        return sum(r.queries_sent for r in self.resolvers)
+
+    @property
+    def query_fraction(self) -> float:
+        """Mean per-provider fraction of lookups that hit the network."""
+        fractions = [r.query_fraction for r in self.resolvers]
+        return sum(fractions) / len(fractions)
+
+    def lookup(self, ip: str, now: float) -> LookupResult:
+        """Check ``ip`` against every provider; aggregate the result.
+
+        ``cache_hit`` is True only when *all* providers answered from
+        cache; ``latency`` is the slowest provider's (parallel queries).
+        """
+        results = [r.lookup(ip, now) for r in self.resolvers]
+        return LookupResult(
+            ip=ip,
+            listed=any(r.listed for r in results),
+            cache_hit=all(r.cache_hit for r in results),
+            latency=max(r.latency for r in results),
+            queried_name=next((r.queried_name for r in results
+                               if r.queried_name), ""),
+            queries_issued=sum(r.queries_issued for r in results))
+
+
+def parallel_lookup(resolvers: list[DnsblResolver], ip: str,
+                    now: float) -> tuple[bool, float]:
+    """Query several DNSBLs "simultaneously" for one IP (paper footnote 2).
+
+    Returns ``(listed_by_any, latency)`` where latency is the *maximum* of
+    the individual lookups — concurrent queries complete when the slowest
+    answer arrives.
+    """
+    if not resolvers:
+        raise DnsError("parallel_lookup needs at least one resolver")
+    results = [r.lookup(ip, now) for r in resolvers]
+    return (any(r.listed for r in results),
+            max(r.latency for r in results))

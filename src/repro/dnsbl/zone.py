@@ -1,0 +1,88 @@
+"""DNSBL zone database.
+
+A zone is the set of blacklisted IPv4 addresses, each with a *listing code*
+— the ``127.0.0.x`` answer address whose last octet encodes "the form of
+spamming activity done by the corresponding IP" (§4.3).  The zone also
+serves /25 bitmaps for the DNSBLv6 scheme.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from ..errors import DnsError
+from .bitmap import bitmap_set, split_ip
+
+__all__ = ["ListingCode", "DnsblZone"]
+
+
+class ListingCode:
+    """Conventional DNSBL answer codes (last octet of 127.0.0.x)."""
+
+    SPAM_SOURCE = 2     # direct spam source (SBL convention)
+    EXPLOITED = 4       # open proxy / exploited host (XBL/CBL convention)
+    DYNAMIC = 10        # dynamic/dial-up space (PBL convention)
+
+    @staticmethod
+    def answer_ip(code: int) -> str:
+        if not 1 <= code <= 255:
+            raise DnsError(f"listing code out of range: {code}")
+        return f"127.0.0.{code}"
+
+
+class DnsblZone:
+    """The blacklist database behind one DNSBL service."""
+
+    def __init__(self, origin: str,
+                 entries: Optional[Iterable[str]] = None,
+                 default_code: int = ListingCode.EXPLOITED):
+        if not origin or origin.startswith("."):
+            raise DnsError(f"invalid zone origin {origin!r}")
+        self.origin = origin.rstrip(".")
+        self.default_code = default_code
+        self._entries: dict[str, int] = {}
+        self._bitmaps: dict[tuple[str, int], int] = {}
+        for ip in entries or ():
+            self.add(ip)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, ip: str) -> bool:
+        return ip in self._entries
+
+    def add(self, ip: str, code: Optional[int] = None) -> None:
+        """Blacklist ``ip`` with a listing code."""
+        a, b, c, d = split_ip(ip)
+        self._entries[ip] = code if code is not None else self.default_code
+        key = (f"{a}.{b}.{c}", 0 if d < 128 else 1)
+        self._bitmaps[key] = bitmap_set(self._bitmaps.get(key, 0), d % 128)
+
+    def remove(self, ip: str) -> None:
+        """Delist ``ip``; missing entries are ignored (delisting is lazy)."""
+        if ip not in self._entries:
+            return
+        a, b, c, d = split_ip(ip)
+        del self._entries[ip]
+        key = (f"{a}.{b}.{c}", 0 if d < 128 else 1)
+        bit = 1 << (127 - (d % 128))
+        remaining = self._bitmaps.get(key, 0) & ~bit
+        if remaining:
+            self._bitmaps[key] = remaining
+        else:
+            self._bitmaps.pop(key, None)
+
+    def lookup_ip(self, ip: str) -> Optional[int]:
+        """The listing code for ``ip``, or ``None`` when not listed."""
+        split_ip(ip)  # validate even for negative answers
+        return self._entries.get(ip)
+
+    def lookup_bitmap(self, prefix: str, half: int) -> int:
+        """The 128-bit /25 bitmap for ``(prefix, half)`` (0 when clean)."""
+        if half not in (0, 1):
+            raise DnsError(f"half must be 0 or 1, got {half!r}")
+        split_ip(prefix + ".0")
+        return self._bitmaps.get((prefix, half), 0)
+
+    def listed_ips(self) -> list[str]:
+        return sorted(self._entries)

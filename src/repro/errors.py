@@ -1,0 +1,41 @@
+"""Exception hierarchy shared across the repro package."""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ProtocolError",
+    "StorageError",
+    "MfsError",
+    "DnsError",
+    "TraceError",
+    "ConfigError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ProtocolError(ReproError):
+    """An SMTP protocol violation (malformed command, bad state, ...)."""
+
+
+class StorageError(ReproError):
+    """A mailbox storage backend failure."""
+
+
+class MfsError(StorageError):
+    """An MFS-specific failure (corrupt key file, refcount underflow, ...)."""
+
+
+class DnsError(ReproError):
+    """A DNS wire-format or resolution failure."""
+
+
+class TraceError(ReproError):
+    """A malformed or inconsistent workload trace."""
+
+
+class ConfigError(ReproError):
+    """An invalid configuration value."""

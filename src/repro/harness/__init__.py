@@ -1,0 +1,9 @@
+"""Experiment harness: per-figure experiments, rendering, CLI."""
+
+from .experiment import Anchor, Experiment, ExperimentResult, Scale, within
+from .figures import EXPERIMENTS
+from .report import render_result, render_table, write_experiments_md
+
+__all__ = ["Anchor", "Experiment", "ExperimentResult", "Scale", "within",
+           "EXPERIMENTS", "render_result", "render_table",
+           "write_experiments_md"]

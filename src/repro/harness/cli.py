@@ -1,0 +1,74 @@
+"""``repro-experiments``: run the paper's experiments from the shell.
+
+Examples::
+
+    repro-experiments --list
+    repro-experiments fig8 fig15
+    repro-experiments --scale full --write-md EXPERIMENTS.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .experiment import Scale
+from .figures import EXPERIMENTS
+from .report import render_result, write_experiments_md
+
+__all__ = ["main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Reproduce the tables and figures of the spam-aware "
+                    "mail server paper (ICDCS 2009).")
+    parser.add_argument("experiments", nargs="*",
+                        help="experiment ids to run (default: all)")
+    parser.add_argument("--scale", choices=(Scale.QUICK, Scale.FULL),
+                        default=Scale.QUICK,
+                        help="quick smoke runs or full published-number runs")
+    parser.add_argument("--list", action="store_true",
+                        help="list available experiments and exit")
+    parser.add_argument("--write-md", metavar="PATH", default=None,
+                        help="also write an EXPERIMENTS.md-style report")
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list:
+        for exp_id, cls in EXPERIMENTS.items():
+            print(f"{exp_id:14s} {cls.title}")
+        return 0
+    chosen = args.experiments or list(EXPERIMENTS)
+    unknown = [e for e in chosen if e not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
+        print(f"available: {', '.join(EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    results = []
+    failures = 0
+    for exp_id in chosen:
+        experiment = EXPERIMENTS[exp_id]()
+        start = time.time()
+        result = experiment.run(scale=args.scale)
+        result.notes = (result.notes + " " if result.notes else "") + \
+            f"(ran in {time.time() - start:.1f}s)"
+        results.append(result)
+        print(render_result(result))
+        print()
+        failures += sum(1 for a in result.anchors if not a.holds)
+    if args.write_md:
+        write_experiments_md(results, args.write_md)
+        print(f"wrote {args.write_md}")
+    if failures:
+        print(f"{failures} anchor(s) did not hold", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,104 @@
+"""Experiment framework: one runnable unit per paper table/figure.
+
+Every experiment produces an :class:`ExperimentResult` holding the series
+or table it regenerates plus *anchors* — the quantitative claims the paper
+makes about that figure — with the measured counterpart next to each, so
+``EXPERIMENTS.md`` can show paper-vs-measured at a glance.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Sequence
+
+__all__ = ["Anchor", "ExperimentResult", "Experiment", "Scale"]
+
+
+class Scale:
+    """Run sizes: ``QUICK`` for CI-speed smoke runs, ``FULL`` for the
+    numbers recorded in EXPERIMENTS.md."""
+
+    QUICK = "quick"
+    FULL = "full"
+
+    @staticmethod
+    def validate(scale: str) -> str:
+        if scale not in (Scale.QUICK, Scale.FULL):
+            raise ValueError(f"unknown scale {scale!r}")
+        return scale
+
+
+@dataclass
+class Anchor:
+    """One published claim and its measured counterpart."""
+
+    description: str
+    paper_value: str
+    measured_value: str
+    holds: bool
+
+    def as_row(self) -> dict:
+        return {
+            "claim": self.description,
+            "paper": self.paper_value,
+            "measured": self.measured_value,
+            "holds": "yes" if self.holds else "NO",
+        }
+
+
+@dataclass
+class ExperimentResult:
+    """Output of one experiment run."""
+
+    experiment_id: str
+    title: str
+    columns: list[str]
+    rows: list[dict] = field(default_factory=list)
+    anchors: list[Anchor] = field(default_factory=list)
+    notes: str = ""
+    scale: str = Scale.QUICK
+
+    @property
+    def all_anchors_hold(self) -> bool:
+        return all(a.holds for a in self.anchors)
+
+    def add_row(self, **values) -> None:
+        self.rows.append(values)
+
+    def add_anchor(self, description: str, paper_value: str,
+                   measured_value: str, holds: bool) -> None:
+        self.anchors.append(Anchor(description, paper_value, measured_value,
+                                   holds))
+
+
+class Experiment(abc.ABC):
+    """Base class: subclasses implement :meth:`run`."""
+
+    #: short id used on the command line ("fig8", "table1", ...)
+    experiment_id: str = ""
+    #: human-readable title
+    title: str = ""
+    #: what the paper section/figure shows
+    description: str = ""
+
+    @abc.abstractmethod
+    def run(self, scale: str = Scale.QUICK) -> ExperimentResult:
+        """Execute the experiment and return its result."""
+
+    def result(self, columns: Sequence[str],
+               scale: str) -> ExperimentResult:
+        return ExperimentResult(experiment_id=self.experiment_id,
+                                title=self.title, columns=list(columns),
+                                scale=scale)
+
+
+def within(measured: float, target: float, rel_tol: float) -> bool:
+    """Whether ``measured`` is within ``rel_tol`` (relative) of ``target``."""
+    if target == 0:
+        return abs(measured) <= rel_tol
+    return abs(measured - target) / abs(target) <= rel_tol
+
+
+def fmt(value: float, digits: int = 2) -> str:
+    return f"{value:.{digits}f}"

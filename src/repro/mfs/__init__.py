@@ -1,0 +1,29 @@
+"""MFS: the paper's single-copy, record-oriented mail file system (§6).
+
+Public entry points: :class:`MfsStore` (Pythonic store interface),
+:class:`MailFile` (one open mailbox), the C-style API of §6.2 in
+:mod:`~repro.mfs.api`, and :func:`fsck`/:func:`repair` for consistency.
+"""
+
+from .api import (MailReadState, mail_close, mail_delete, mail_nwrite,
+                  mail_open, mail_read, mail_seek)
+from .datafile import DataFile
+from .keyfile import KeyFile
+from .layout import (DATA_HEADER_SIZE, KEY_RECORD_SIZE, MAIL_ID_LEN,
+                     SHARED_REFCOUNT, STATUS_DEAD, STATUS_LIVE, KeyEntry,
+                     pack_data_header, pack_key, unpack_data_header,
+                     unpack_key)
+from .mailfile import MailFile
+from .recovery import FsckReport, fsck, repair
+from .shared import SharedMailbox
+from .store import MfsStore
+
+__all__ = [
+    "MailReadState", "mail_close", "mail_delete", "mail_nwrite", "mail_open",
+    "mail_read", "mail_seek",
+    "DataFile", "KeyFile",
+    "DATA_HEADER_SIZE", "KEY_RECORD_SIZE", "MAIL_ID_LEN", "SHARED_REFCOUNT",
+    "STATUS_DEAD", "STATUS_LIVE", "KeyEntry",
+    "pack_data_header", "pack_key", "unpack_data_header", "unpack_key",
+    "MailFile", "FsckReport", "fsck", "repair", "SharedMailbox", "MfsStore",
+]

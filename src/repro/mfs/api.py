@@ -1,0 +1,99 @@
+"""The paper's C-style MFS API (§6.2), verbatim names.
+
+These thin wrappers exist for fidelity with the published interface::
+
+    mail_file *mfd = mail_open(char *filename, char *mode)
+    int err = mail_seek(mail_file *mfd, int offset, int whence)
+    int err = mail_nwrite(mail_file **mfd, int nmfd, char *buf,
+                          char *mail_id, int buf_len, int msg_id_len)
+    int err = mail_read(mail_file *mfd, char *buf, char *mail_id,
+                        int *buf_len, int *mail_id_len)
+    ... mail_delete(), mail_close()
+
+The Pythonic interface is :class:`~repro.mfs.store.MfsStore` /
+:class:`~repro.mfs.mailfile.MailFile`; prefer those in new code.
+``mail_read`` keeps the C flavour of partial reads: when the caller's
+buffer is smaller than the mail "the API may need to be called multiple
+times to read a mail".
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from ..errors import MfsError
+from .mailfile import MailFile
+from .store import MfsStore
+
+__all__ = ["mail_open", "mail_seek", "mail_nwrite", "mail_read",
+           "mail_delete", "mail_close", "MailReadState"]
+
+
+def mail_open(store: MfsStore, filename: str, mode: str = "a") -> MailFile:
+    """Open a mailbox file; creates the key/data pair when absent."""
+    return store.open_mailbox(filename, mode=mode)
+
+
+def mail_seek(mfd: MailFile, offset: int, whence: int = os.SEEK_SET) -> int:
+    """Seek at mail granularity; returns 0 on success (C convention)."""
+    mfd.seek(offset, whence)
+    return 0
+
+
+def mail_nwrite(store: MfsStore, mfds: list[MailFile], buf: bytes,
+                mail_id: str) -> int:
+    """Write one mail to all mailboxes in ``mfds``; returns 0 on success."""
+    if not mfds:
+        raise MfsError("mail_nwrite needs at least one mailbox descriptor")
+    mailboxes = [m.mailbox for m in mfds]
+    if len(mfds) == 1:
+        mfds[0].write(mail_id, buf)
+    else:
+        store.nwrite(mailboxes, mail_id, buf)
+    return 0
+
+
+class MailReadState:
+    """Continuation state for a partially read mail (C-style ``mail_read``)."""
+
+    def __init__(self):
+        self.mail_id: Optional[str] = None
+        self._remaining: bytes = b""
+
+    @property
+    def in_progress(self) -> bool:
+        return bool(self._remaining)
+
+
+def mail_read(mfd: MailFile, buf_len: int,
+              state: Optional[MailReadState] = None) -> tuple[Optional[str], bytes, MailReadState]:
+    """Read (a chunk of) the next mail.
+
+    Returns ``(mail_id, chunk, state)``.  ``mail_id`` is ``None`` at end of
+    mailbox.  When the mail exceeds ``buf_len``, call again with the
+    returned ``state`` to get the next chunk.
+    """
+    if buf_len < 1:
+        raise MfsError(f"buffer length must be >= 1, got {buf_len}")
+    state = state or MailReadState()
+    if not state.in_progress:
+        item = mfd.read_next()
+        if item is None:
+            return None, b"", state
+        state.mail_id, state._remaining = item
+    chunk, state._remaining = (state._remaining[:buf_len],
+                               state._remaining[buf_len:])
+    return state.mail_id, chunk, state
+
+
+def mail_delete(mfd: MailFile, mail_id: str) -> int:
+    """Delete one mail from the mailbox; returns 0 on success."""
+    mfd.delete(mail_id)
+    return 0
+
+
+def mail_close(mfd: MailFile) -> int:
+    """Close the mailbox handle; returns 0 on success."""
+    mfd.close()
+    return 0

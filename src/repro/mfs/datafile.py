@@ -1,0 +1,85 @@
+"""Data-file management: the shadow file holding record payloads."""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from ..errors import MfsError
+from .layout import DATA_HEADER_SIZE, pack_data_header, unpack_data_header
+
+__all__ = ["DataFile"]
+
+
+class DataFile:
+    """An append-only file of ``(header, payload)`` records.
+
+    Offsets handed out by :meth:`append` are byte offsets of the record
+    header, exactly what key files store.
+    """
+
+    def __init__(self, path: Path):
+        self.path = Path(path)
+        # "r+b" with explicit end-seeks: append mode would pin writes to
+        # EOF, but reads also need free seeking.
+        self.path.touch(exist_ok=True)
+        self._fh = open(self.path, "r+b")
+
+    def append(self, mail_id: str, payload: bytes) -> int:
+        """Append one record; returns its offset."""
+        self._fh.seek(0, os.SEEK_END)
+        offset = self._fh.tell()
+        self._fh.write(pack_data_header(mail_id, len(payload)))
+        self._fh.write(payload)
+        return offset
+
+    def read(self, offset: int, expected_mail_id: str | None = None) -> tuple[str, bytes]:
+        """Read the record at ``offset``; returns ``(mail_id, payload)``.
+
+        The stored mail-id is checked against ``expected_mail_id`` when
+        given — a mismatch means the key file points into garbage.
+        """
+        if offset < 0:
+            raise MfsError(f"negative data offset {offset}")
+        self._fh.seek(offset)
+        header = self._fh.read(DATA_HEADER_SIZE)
+        if len(header) != DATA_HEADER_SIZE:
+            raise MfsError(f"short read at offset {offset} in {self.path.name}")
+        mail_id, length = unpack_data_header(header)
+        if expected_mail_id is not None and mail_id != expected_mail_id:
+            raise MfsError(
+                f"data record at {offset} holds {mail_id!r}, key file "
+                f"expected {expected_mail_id!r} — corrupt index")
+        payload = self._fh.read(length)
+        if len(payload) != length:
+            raise MfsError(f"truncated record payload at offset {offset}")
+        return mail_id, payload
+
+    def scan(self):
+        """Yield ``(offset, mail_id, payload)`` for every record (recovery)."""
+        self._fh.seek(0, os.SEEK_END)
+        end = self._fh.tell()
+        offset = 0
+        while offset < end:
+            mail_id, payload = self.read(offset)
+            yield offset, mail_id, payload
+            offset += DATA_HEADER_SIZE + len(payload)
+
+    def size(self) -> int:
+        self._fh.seek(0, os.SEEK_END)
+        return self._fh.tell()
+
+    def sync(self) -> None:
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.flush()
+            self._fh.close()
+
+    def __enter__(self) -> "DataFile":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,136 @@
+"""Key-file management: the primary file of every MFS file pair."""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Iterator, Optional
+
+from ..errors import MfsError
+from .layout import (KEY_RECORD_SIZE, STATUS_DEAD, STATUS_LIVE, KeyEntry,
+                     pack_key, unpack_key)
+
+__all__ = ["KeyFile"]
+
+
+class KeyFile:
+    """An append-mostly file of fixed-size key records with in-place updates.
+
+    Appends add records; refcount changes and deletions rewrite a single
+    32-byte slot in place.  An in-memory index (mail-id → slot) is built at
+    open time by scanning the file — the file *is* the authoritative state.
+    """
+
+    def __init__(self, path: Path):
+        self.path = Path(path)
+        # "r+b" (not "a+b"): POSIX append mode would force *every* write to
+        # the end of file, silently corrupting in-place slot rewrites.
+        self.path.touch(exist_ok=True)
+        self._fh = open(self.path, "r+b")
+        self._entries: list[KeyEntry] = []
+        self._slots: dict[str, int] = {}
+        self._load()
+
+    def _load(self) -> None:
+        self._fh.seek(0)
+        raw = self._fh.read()
+        if len(raw) % KEY_RECORD_SIZE:
+            raise MfsError(
+                f"key file {self.path} is torn: {len(raw)} bytes is not a "
+                f"multiple of {KEY_RECORD_SIZE} (run recovery)")
+        for slot in range(len(raw) // KEY_RECORD_SIZE):
+            entry = unpack_key(
+                raw[slot * KEY_RECORD_SIZE:(slot + 1) * KEY_RECORD_SIZE])
+            self._entries.append(entry)
+            if entry.is_live:
+                self._slots[entry.mail_id] = slot
+
+    # -- queries --------------------------------------------------------------
+    def __len__(self) -> int:
+        """Number of *live* records."""
+        return len(self._slots)
+
+    def __contains__(self, mail_id: str) -> bool:
+        return mail_id in self._slots
+
+    def get(self, mail_id: str) -> Optional[KeyEntry]:
+        slot = self._slots.get(mail_id)
+        return self._entries[slot] if slot is not None else None
+
+    def slot_of(self, mail_id: str) -> Optional[int]:
+        return self._slots.get(mail_id)
+
+    def live_entries(self) -> Iterator[KeyEntry]:
+        """Live records in append (delivery) order."""
+        return (e for e in self._entries if e.is_live)
+
+    def entry_at(self, index: int) -> KeyEntry:
+        """The ``index``-th *live* record (mail-granularity seek support)."""
+        live = [e for e in self._entries if e.is_live]
+        if not 0 <= index < len(live):
+            raise MfsError(f"mail index {index} out of range "
+                           f"(mailbox has {len(live)} mails)")
+        return live[index]
+
+    # -- mutations ------------------------------------------------------------
+    def append(self, entry: KeyEntry) -> int:
+        """Append a record; returns its slot number."""
+        if entry.mail_id in self._slots:
+            raise MfsError(
+                f"duplicate mail id {entry.mail_id!r} in {self.path.name} "
+                "(possible key-collision attack, see paper §6.4)")
+        slot = len(self._entries)
+        self._fh.seek(0, os.SEEK_END)
+        self._fh.write(pack_key(entry))
+        self._entries.append(entry)
+        if entry.is_live:
+            self._slots[entry.mail_id] = slot
+        return slot
+
+    def rewrite(self, slot: int, entry: KeyEntry) -> None:
+        """Rewrite one slot in place (refcount update / tombstone)."""
+        if not 0 <= slot < len(self._entries):
+            raise MfsError(f"slot {slot} out of range")
+        old = self._entries[slot]
+        if old.mail_id != entry.mail_id:
+            raise MfsError("slot rewrite must keep the mail id")
+        self._fh.seek(slot * KEY_RECORD_SIZE)
+        self._fh.write(pack_key(entry))
+        self._entries[slot] = entry
+        if entry.status == STATUS_DEAD:
+            self._slots.pop(entry.mail_id, None)
+        else:
+            self._slots[entry.mail_id] = slot
+
+    def tombstone(self, mail_id: str) -> KeyEntry:
+        """Mark the record dead; returns the old entry."""
+        slot = self._slots.get(mail_id)
+        if slot is None:
+            raise MfsError(f"mail {mail_id!r} not present in {self.path.name}")
+        old = self._entries[slot]
+        self.rewrite(slot, KeyEntry(old.mail_id, old.offset, old.refcount,
+                                    STATUS_DEAD))
+        return old
+
+    def set_refcount(self, mail_id: str, refcount: int) -> None:
+        slot = self._slots.get(mail_id)
+        if slot is None:
+            raise MfsError(f"mail {mail_id!r} not present in {self.path.name}")
+        old = self._entries[slot]
+        self.rewrite(slot, KeyEntry(old.mail_id, old.offset, refcount,
+                                    STATUS_LIVE))
+
+    def sync(self) -> None:
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.flush()
+            self._fh.close()
+
+    def __enter__(self) -> "KeyFile":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,106 @@
+"""MFS on-disk record formats.
+
+An MFS file is a pair of conventional files (§6.1):
+
+* the **key file** — fixed-size records ``(mail-id, offset, refcount,
+  status)``.  ``refcount == -1`` marks a *shared* record whose bytes live in
+  the shared mailbox's data file (the paper's ``(mail-id, offset, -1)``
+  tuple); positive refcounts appear in the shared mailbox's own key file
+  ("a 4-byte reference count is maintained for each shared record").
+  ``status`` distinguishes live records from tombstones left by deletion.
+* the **data file** — variable-size records, each a small header
+  ``(mail-id, length)`` followed by the payload.  The duplicated mail-id in
+  the header lets reads verify they landed on the right record and lets
+  recovery rebuild key files from data files.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from ..errors import MfsError
+
+__all__ = [
+    "MAIL_ID_LEN", "KEY_RECORD_SIZE", "STATUS_LIVE", "STATUS_DEAD",
+    "SHARED_REFCOUNT", "KeyEntry", "pack_key", "unpack_key",
+    "pack_data_header", "unpack_data_header", "DATA_HEADER_SIZE",
+]
+
+#: Mail ids are fixed-width ASCII (see MailIdGenerator), padded with NULs.
+MAIL_ID_LEN = 16
+
+#: The sentinel refcount marking "this record lives in the shared mailbox".
+SHARED_REFCOUNT = -1
+
+STATUS_LIVE = 1
+STATUS_DEAD = 0
+
+_KEY_STRUCT = struct.Struct("!16sqiB3x")  # mail_id, offset, refcount, status
+KEY_RECORD_SIZE = _KEY_STRUCT.size       # 32 bytes
+assert KEY_RECORD_SIZE == 32
+
+_DATA_HEADER = struct.Struct("!16sI")     # mail_id, payload length
+DATA_HEADER_SIZE = _DATA_HEADER.size      # 20 bytes
+
+
+@dataclass
+class KeyEntry:
+    """One key-file record."""
+
+    mail_id: str
+    offset: int
+    refcount: int
+    status: int = STATUS_LIVE
+
+    @property
+    def is_live(self) -> bool:
+        return self.status == STATUS_LIVE
+
+    @property
+    def is_shared(self) -> bool:
+        """Whether the record's payload lives in the shared mailbox."""
+        return self.refcount == SHARED_REFCOUNT
+
+
+def _encode_mail_id(mail_id: str) -> bytes:
+    raw = mail_id.encode("ascii")
+    if not raw or len(raw) > MAIL_ID_LEN:
+        raise MfsError(f"mail id must be 1..{MAIL_ID_LEN} ASCII bytes, "
+                       f"got {mail_id!r}")
+    return raw.ljust(MAIL_ID_LEN, b"\x00")
+
+
+def _decode_mail_id(raw: bytes) -> str:
+    return raw.rstrip(b"\x00").decode("ascii")
+
+
+def pack_key(entry: KeyEntry) -> bytes:
+    if entry.offset < 0:
+        raise MfsError(f"negative offset in key entry: {entry.offset}")
+    return _KEY_STRUCT.pack(_encode_mail_id(entry.mail_id), entry.offset,
+                            entry.refcount, entry.status)
+
+
+def unpack_key(raw: bytes) -> KeyEntry:
+    if len(raw) != KEY_RECORD_SIZE:
+        raise MfsError(f"key record must be {KEY_RECORD_SIZE} bytes, "
+                       f"got {len(raw)}")
+    mail_id, offset, refcount, status = _KEY_STRUCT.unpack(raw)
+    if status not in (STATUS_LIVE, STATUS_DEAD):
+        raise MfsError(f"corrupt key record status {status!r}")
+    return KeyEntry(_decode_mail_id(mail_id), offset, refcount, status)
+
+
+def pack_data_header(mail_id: str, length: int) -> bytes:
+    if length < 0:
+        raise MfsError(f"negative data length: {length}")
+    return _DATA_HEADER.pack(_encode_mail_id(mail_id), length)
+
+
+def unpack_data_header(raw: bytes) -> tuple[str, int]:
+    if len(raw) != DATA_HEADER_SIZE:
+        raise MfsError(f"data header must be {DATA_HEADER_SIZE} bytes, "
+                       f"got {len(raw)}")
+    mail_id, length = _DATA_HEADER.unpack(raw)
+    return _decode_mail_id(mail_id), length

@@ -1,0 +1,156 @@
+"""The MFS ``mail_file`` handle: one open mailbox.
+
+Implements the paper's per-mailbox operations at mail granularity
+(§6.2): sequential reads via a seek pointer, single-recipient writes into
+the mailbox's own data file, shared-reference writes into the shared
+mailbox, and refcounted deletes.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from ..errors import MfsError
+from .datafile import DataFile
+from .keyfile import KeyFile
+from .layout import KeyEntry, SHARED_REFCOUNT, STATUS_LIVE
+from .shared import SharedMailbox
+
+__all__ = ["MailFile"]
+
+
+class MailFile:
+    """An open MFS mailbox: a (key file, data file) pair plus the shared
+    mailbox reference.
+
+    The seek pointer counts *mails*, not bytes — "mail_seek ... operates at
+    the granularity of a mail instead of a byte" (§6.2).
+    """
+
+    def __init__(self, directory: Path, mailbox: str, shared: SharedMailbox,
+                 mode: str = "a"):
+        if mode not in ("r", "a"):
+            raise MfsError(f"unsupported MFS open mode {mode!r}")
+        safe = mailbox.replace("@", "_at_").replace("/", "_")
+        self.mailbox = mailbox
+        self.mode = mode
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        key_path = self.directory / f"{safe}.key"
+        data_path = self.directory / f"{safe}.data"
+        if mode == "r" and not key_path.exists():
+            raise MfsError(f"mailbox {mailbox!r} does not exist")
+        self.keys = KeyFile(key_path)
+        self.data = DataFile(data_path)
+        self.shared = shared
+        self._pointer = 0
+        self._closed = False
+
+    # -- queries ---------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.keys)
+
+    def mail_ids(self) -> list[str]:
+        return [e.mail_id for e in self.keys.live_entries()]
+
+    @property
+    def pointer(self) -> int:
+        return self._pointer
+
+    # -- the paper's API -------------------------------------------------------
+    def seek(self, offset: int, whence: int = os.SEEK_SET) -> int:
+        """``mail_seek``: move the mail-granularity pointer."""
+        n = len(self.keys)
+        if whence == os.SEEK_SET:
+            target = offset
+        elif whence == os.SEEK_CUR:
+            target = self._pointer + offset
+        elif whence == os.SEEK_END:
+            target = n + offset
+        else:
+            raise MfsError(f"bad whence {whence!r}")
+        if not 0 <= target <= n:
+            raise MfsError(f"seek target {target} outside mailbox of {n} mails")
+        self._pointer = target
+        return target
+
+    def read_next(self) -> tuple[str, bytes] | None:
+        """``mail_read``: the mail at the pointer, advancing it.
+
+        Returns ``None`` at end of mailbox.
+        """
+        self._check_open()
+        live = list(self.keys.live_entries())
+        if self._pointer >= len(live):
+            return None
+        entry = live[self._pointer]
+        self._pointer += 1
+        return entry.mail_id, self._payload_of(entry)
+
+    def read_by_id(self, mail_id: str) -> bytes:
+        self._check_open()
+        entry = self.keys.get(mail_id)
+        if entry is None:
+            raise MfsError(f"mail {mail_id!r} not in mailbox {self.mailbox!r}")
+        return self._payload_of(entry)
+
+    def write(self, mail_id: str, payload: bytes) -> None:
+        """Single-recipient write: payload goes into this mailbox's data file
+        with a ``(mail-id, offset, 1)`` key tuple (§6.1)."""
+        self._check_writable()
+        offset = self.data.append(mail_id, payload)
+        self.keys.append(KeyEntry(mail_id, offset, 1, STATUS_LIVE))
+
+    def add_shared_ref(self, mail_id: str, shared_offset: int) -> None:
+        """Record a ``(mail-id, offset, -1)`` tuple pointing into the shared
+        mailbox.  The shared refcount is managed by the caller (store)."""
+        self._check_writable()
+        self.keys.append(KeyEntry(mail_id, shared_offset, SHARED_REFCOUNT,
+                                  STATUS_LIVE))
+
+    def delete(self, mail_id: str) -> None:
+        """``mail_delete``: tombstone locally; decref shared copies."""
+        self._check_writable()
+        entry = self.keys.get(mail_id)
+        if entry is None:
+            raise MfsError(f"mail {mail_id!r} not in mailbox {self.mailbox!r}")
+        self.keys.tombstone(mail_id)
+        if entry.is_shared:
+            self.shared.decref(mail_id)
+        # adjust the pointer so sequential reads do not skip a mail
+        live_before = sum(1 for e in self.keys.live_entries())
+        self._pointer = min(self._pointer, live_before)
+
+    def close(self) -> None:
+        """``mail_close``: flush and release the underlying files."""
+        if not self._closed:
+            self.keys.close()
+            self.data.close()
+            self._closed = True
+
+    def sync(self) -> None:
+        self.keys.sync()
+        self.data.sync()
+
+    # -- internals ---------------------------------------------------------------
+    def _payload_of(self, entry: KeyEntry) -> bytes:
+        if entry.is_shared:
+            return self.shared.read(entry.mail_id)
+        _, payload = self.data.read(entry.offset, entry.mail_id)
+        return payload
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise MfsError(f"mailbox {self.mailbox!r} is closed")
+
+    def _check_writable(self) -> None:
+        self._check_open()
+        if self.mode != "a":
+            raise MfsError(f"mailbox {self.mailbox!r} opened read-only")
+
+    def __enter__(self) -> "MailFile":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

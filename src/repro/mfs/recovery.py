@@ -1,0 +1,101 @@
+"""MFS consistency checking and repair.
+
+The invariant MFS must maintain (§6.1): for every live shared record, its
+reference count in ``shmailbox_key`` equals the number of live ``(id,
+offset, -1)`` tuples across all mailbox key files.  A crash between the
+shared-mailbox write and the per-mailbox key appends can break this;
+:func:`fsck` detects all three failure classes and :func:`repair` restores
+the invariant by trusting the mailbox key files (they are written last, so
+they undercount at worst — repairing down never loses a reachable mail).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .store import MfsStore
+
+__all__ = ["FsckReport", "fsck", "repair"]
+
+
+@dataclass
+class FsckReport:
+    """Outcome of a consistency scan."""
+
+    mailboxes_scanned: int = 0
+    shared_records: int = 0
+    #: shared mail-id → (stored refcount, actual reference count)
+    bad_refcounts: dict[str, tuple[int, int]] = field(default_factory=dict)
+    #: shared records with zero live references (leaked space)
+    orphaned_shared: list[str] = field(default_factory=list)
+    #: mailbox references to shared records that do not exist (data loss)
+    dangling_refs: list[tuple[str, str]] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not (self.bad_refcounts or self.orphaned_shared
+                    or self.dangling_refs)
+
+
+def _handles_by_key_path(store: MfsStore) -> dict[str, object]:
+    """Map key-file names to already-open handles (their buffers are the
+    freshest view; opening a second handle on the same file would read a
+    stale prefix)."""
+    return {handle.keys.path.name: handle
+            for handle in store._open.values()}
+
+
+def _count_references(store: MfsStore) -> tuple[dict[str, int], list[tuple[str, str]], int]:
+    """Live shared references per mail-id, dangling refs, mailbox count."""
+    store.sync()  # flush buffered appends so on-disk state is authoritative
+    refs: dict[str, int] = {}
+    dangling: list[tuple[str, str]] = []
+    mailbox_dir = store.root / "mailboxes"
+    scanned = 0
+    if not mailbox_dir.exists():
+        return refs, dangling, 0
+    open_handles = _handles_by_key_path(store)
+    for key_path in sorted(mailbox_dir.glob("*.key")):
+        mailbox = key_path.stem
+        scanned += 1
+        handle = open_handles.get(key_path.name) or store.open_mailbox(mailbox)
+        for entry in handle.keys.live_entries():
+            if entry.is_shared:
+                refs[entry.mail_id] = refs.get(entry.mail_id, 0) + 1
+                if entry.mail_id not in store.shared:
+                    dangling.append((handle.mailbox, entry.mail_id))
+    return refs, dangling, scanned
+
+
+def fsck(store: MfsStore) -> FsckReport:
+    """Scan the store and report every refcount inconsistency."""
+    report = FsckReport()
+    refs, dangling, scanned = _count_references(store)
+    report.mailboxes_scanned = scanned
+    report.dangling_refs = dangling
+    report.shared_records = len(store.shared)
+    for entry in list(store.shared.keys.live_entries()):
+        actual = refs.get(entry.mail_id, 0)
+        if actual == 0:
+            report.orphaned_shared.append(entry.mail_id)
+        elif actual != entry.refcount:
+            report.bad_refcounts[entry.mail_id] = (entry.refcount, actual)
+    return report
+
+
+def repair(store: MfsStore) -> FsckReport:
+    """Repair the store in place; returns the pre-repair report.
+
+    * wrong refcounts are reset to the actual live reference count;
+    * orphaned shared records are tombstoned (space reclaimed);
+    * dangling mailbox references are tombstoned (they point at nothing).
+    """
+    report = fsck(store)
+    for mail_id, (_stored, actual) in report.bad_refcounts.items():
+        store.shared.keys.set_refcount(mail_id, actual)
+    for mail_id in report.orphaned_shared:
+        store.shared.keys.tombstone(mail_id)
+    for mailbox, mail_id in report.dangling_refs:
+        handle = store.open_mailbox(mailbox)
+        handle.keys.tombstone(mail_id)
+    return report

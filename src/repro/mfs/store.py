@@ -1,0 +1,142 @@
+"""MFS as a mailbox storage backend.
+
+Binds the MFS machinery into the :class:`~repro.storage.base.MailboxStore`
+interface so the delivery pipeline (and the Figs. 10/11 experiments) can use
+it interchangeably with mbox/maildir/hardlink.  The I/O accounting mirrors
+§6.1 exactly:
+
+* single-recipient mail → append payload to ``mailbox_data`` + one 32-byte
+  key tuple to ``mailbox_key``;
+* multi-recipient mail → append payload **once** to ``shmailbox_data`` +
+  one refcounted tuple to ``shmailbox_key`` + one 32-byte ``(id, offset,
+  -1)`` tuple per recipient mailbox.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from ..errors import MfsError, StorageError
+from ..smtp.message import MailMessage
+from ..storage.base import MailboxStore, StoredMail
+from ..storage.diskmodel import IoKind, IoOp
+from .layout import DATA_HEADER_SIZE, KEY_RECORD_SIZE
+from .mailfile import MailFile
+from .shared import SharedMailbox
+
+__all__ = ["MfsStore"]
+
+
+class MfsStore(MailboxStore):
+    """A directory of MFS mailboxes plus the hidden shared mailbox."""
+
+    name = "mfs"
+
+    def __init__(self, root: Path | str):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        # the paper hides shared files inside the kernel; we hide them in a
+        # dot-directory only reachable through this store
+        self.shared = SharedMailbox(self.root / ".shared")
+        self._open: dict[str, MailFile] = {}
+
+    # -- handle management ----------------------------------------------------
+    def open_mailbox(self, mailbox: str, mode: str = "a") -> MailFile:
+        """``mail_open``: a cached handle to one mailbox."""
+        handle = self._open.get(mailbox)
+        if handle is None:
+            handle = MailFile(self.root / "mailboxes", mailbox, self.shared,
+                              mode=mode)
+            self._open[mailbox] = handle
+        return handle
+
+    def close(self) -> None:
+        for handle in self._open.values():
+            handle.close()
+        self._open.clear()
+        self.shared.close()
+
+    def __enter__(self) -> "MfsStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- MailboxStore API -------------------------------------------------------
+    def deliver(self, message: MailMessage) -> list[IoOp]:
+        payload = message.serialized()
+        mailboxes = [r.mailbox for r in message.recipients]
+        if len(set(mailboxes)) != len(mailboxes):
+            raise StorageError(
+                f"duplicate recipient mailboxes in mail {message.mail_id!r}")
+        if len(mailboxes) == 1:
+            handle = self.open_mailbox(mailboxes[0])
+            handle.write(message.mail_id, payload)
+            return [
+                IoOp(IoKind.APPEND, DATA_HEADER_SIZE + len(payload),
+                     target="mailbox_data"),
+                IoOp(IoKind.APPEND, KEY_RECORD_SIZE, target="mailbox_key"),
+            ]
+        return self.nwrite(mailboxes, message.mail_id, payload)
+
+    def nwrite(self, mailboxes: list[str], mail_id: str,
+               payload: bytes) -> list[IoOp]:
+        """``mail_nwrite``: write one mail to ``len(mailboxes)`` mailboxes.
+
+        The payload hits the disk once regardless of the recipient count.
+        """
+        if not mailboxes:
+            raise StorageError("nwrite needs at least one mailbox")
+        ops: list[IoOp] = []
+        was_present = mail_id in self.shared
+        self.shared.add(mail_id, payload, refcount=len(mailboxes))
+        if was_present:
+            # dedup hit: only the refcount moved (§6.2's skip)
+            ops.append(IoOp(IoKind.UPDATE, KEY_RECORD_SIZE,
+                            target="shmailbox_key"))
+        else:
+            ops.append(IoOp(IoKind.APPEND, DATA_HEADER_SIZE + len(payload),
+                            target="shmailbox_data"))
+            ops.append(IoOp(IoKind.APPEND, KEY_RECORD_SIZE,
+                            target="shmailbox_key"))
+        offset = self.shared.keys.get(mail_id).offset
+        for mailbox in mailboxes:
+            handle = self.open_mailbox(mailbox)
+            if mail_id in handle.keys:
+                raise MfsError(
+                    f"mail {mail_id!r} already delivered to {mailbox!r}")
+            handle.add_shared_ref(mail_id, offset)
+            ops.append(IoOp(IoKind.APPEND, KEY_RECORD_SIZE,
+                            target="mailbox_key"))
+        return ops
+
+    def list_mailbox(self, mailbox: str) -> list[str]:
+        try:
+            return self.open_mailbox(mailbox).mail_ids()
+        except MfsError:
+            return []
+
+    def read(self, mailbox: str, mail_id: str) -> StoredMail:
+        handle = self.open_mailbox(mailbox)
+        return StoredMail(mail_id, handle.read_by_id(mail_id))
+
+    def delete(self, mailbox: str, mail_id: str) -> list[IoOp]:
+        handle = self.open_mailbox(mailbox)
+        entry = handle.keys.get(mail_id)
+        if entry is None:
+            raise StorageError(f"mail {mail_id!r} not in {mailbox!r}")
+        handle.delete(mail_id)
+        ops = [IoOp(IoKind.UPDATE, KEY_RECORD_SIZE, target="mailbox_key")]
+        if entry.is_shared:
+            ops.append(IoOp(IoKind.UPDATE, KEY_RECORD_SIZE,
+                            target="shmailbox_key"))
+        return ops
+
+    # -- statistics ----------------------------------------------------------
+    def shared_record_count(self) -> int:
+        return len(self.shared)
+
+    def sync(self) -> None:
+        for handle in self._open.values():
+            handle.sync()
+        self.shared.sync()

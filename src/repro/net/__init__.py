@@ -1,0 +1,15 @@
+"""Real asyncio network layer: SMTP server/client, UDP DNSBL stack."""
+
+from .client import (ClosedLoadGenerator, LoadStats, OpenLoadGenerator,
+                     SmtpClient, send_connection)
+from .dns import AsyncDnsblResolver, UdpDnsblServer
+from .pop3 import Pop3Config, Pop3Server
+from .server import NetServerConfig, NetServerStats, SmtpServer
+
+__all__ = [
+    "ClosedLoadGenerator", "LoadStats", "OpenLoadGenerator", "SmtpClient",
+    "send_connection",
+    "AsyncDnsblResolver", "UdpDnsblServer",
+    "Pop3Config", "Pop3Server",
+    "NetServerConfig", "NetServerStats", "SmtpServer",
+]

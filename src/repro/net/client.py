@@ -1,0 +1,168 @@
+"""Asyncio SMTP client and load generators over real sockets.
+
+:class:`SmtpClient` drives one connection using the sans-IO
+:class:`~repro.smtp.client_fsm.ClientSession`.  The two load generators
+mirror the paper's measurement clients (Table 1): a closed-system driver
+that keeps a fixed number of connections open, and an open-system driver
+that fires connections at a fixed rate.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..smtp.client_fsm import ClientSession, MailResult, OutgoingMail
+from ..traces.record import Connection, Trace
+
+__all__ = ["SmtpClient", "send_connection", "ClosedLoadGenerator",
+           "OpenLoadGenerator", "LoadStats"]
+
+
+class SmtpClient:
+    """One SMTP connection driven to completion."""
+
+    def __init__(self, host: str, port: int,
+                 mails: Sequence[OutgoingMail],
+                 helo: str = "client.example",
+                 quit_after_helo: bool = False,
+                 timeout: float = 30.0):
+        self.host = host
+        self.port = port
+        self.session = ClientSession(mails, helo=helo,
+                                     quit_after_helo=quit_after_helo)
+        self.timeout = timeout
+
+    async def run(self) -> list[MailResult]:
+        """Connect, deliver every mail, quit; returns per-mail results."""
+        reader, writer = await asyncio.open_connection(self.host, self.port)
+        try:
+            while not self.session.done:
+                data = await asyncio.wait_for(reader.read(4096), self.timeout)
+                if not data:
+                    self.session.connection_lost()
+                    break
+                out = self.session.receive_data(data)
+                if out:
+                    writer.write(out)
+                    await writer.drain()
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+        return self.session.results
+
+
+def _mails_from_connection(conn: Connection) -> list[OutgoingMail]:
+    mails = []
+    for attempt in conn.mails:
+        body = b"X" * max(0, attempt.size - 2) + b"\r\n"
+        mails.append(OutgoingMail(
+            sender=f"sender@{conn.helo}",
+            recipients=[r.mailbox for r in attempt.recipients],
+            body=body))
+    return mails
+
+
+async def send_connection(host: str, port: int, conn: Connection,
+                          timeout: float = 30.0) -> list[MailResult]:
+    """Play one trace connection against a live server."""
+    client = SmtpClient(host, port, _mails_from_connection(conn),
+                        helo=conn.helo, quit_after_helo=conn.unfinished,
+                        timeout=timeout)
+    return await client.run()
+
+
+@dataclass
+class LoadStats:
+    """Results of a load-generation run."""
+
+    connections: int = 0
+    delivered_mails: int = 0
+    failed_connections: int = 0
+    duration: float = 0.0
+    results: list = field(default_factory=list)
+
+    @property
+    def throughput(self) -> float:
+        return self.delivered_mails / self.duration if self.duration else 0.0
+
+
+class ClosedLoadGenerator:
+    """Client program 1: a fixed number of always-open connections."""
+
+    def __init__(self, host: str, port: int, trace: Trace,
+                 concurrency: int = 8):
+        if concurrency < 1:
+            raise ValueError("concurrency must be >= 1")
+        self.host = host
+        self.port = port
+        self.trace = trace
+        self.concurrency = concurrency
+
+    async def run(self) -> LoadStats:
+        loop = asyncio.get_event_loop()
+        stats = LoadStats()
+        queue: asyncio.Queue = asyncio.Queue()
+        for conn in self.trace:
+            queue.put_nowait(conn)
+
+        async def worker():
+            while True:
+                try:
+                    conn = queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    return
+                try:
+                    results = await send_connection(self.host, self.port,
+                                                    conn)
+                    stats.connections += 1
+                    stats.delivered_mails += sum(r.delivered for r in results)
+                    stats.results.extend(results)
+                except (OSError, asyncio.TimeoutError):
+                    stats.failed_connections += 1
+
+        start = loop.time()
+        await asyncio.gather(*(worker() for _ in range(self.concurrency)))
+        stats.duration = loop.time() - start
+        return stats
+
+
+class OpenLoadGenerator:
+    """Client program 2: new connections at a fixed rate, fire-and-forget."""
+
+    def __init__(self, host: str, port: int, trace: Trace, rate: float,
+                 duration: float):
+        if rate <= 0 or duration <= 0:
+            raise ValueError("rate and duration must be positive")
+        self.host = host
+        self.port = port
+        self.trace = trace
+        self.rate = rate
+        self.duration = duration
+
+    async def run(self) -> LoadStats:
+        import itertools
+        loop = asyncio.get_event_loop()
+        stats = LoadStats()
+        tasks: list[asyncio.Task] = []
+        bodies = itertools.cycle(self.trace.connections)
+        start = loop.time()
+
+        async def one(conn: Connection):
+            try:
+                results = await send_connection(self.host, self.port, conn)
+                stats.connections += 1
+                stats.delivered_mails += sum(r.delivered for r in results)
+            except (OSError, asyncio.TimeoutError):
+                stats.failed_connections += 1
+
+        while loop.time() - start < self.duration:
+            tasks.append(asyncio.create_task(one(next(bodies))))
+            await asyncio.sleep(1.0 / self.rate)
+        await asyncio.gather(*tasks)
+        stats.duration = loop.time() - start
+        return stats

@@ -1,0 +1,170 @@
+"""Asyncio UDP DNSBL server and resolver client.
+
+Wraps the transport-free :class:`~repro.dnsbl.server.DnsblServer` in a real
+UDP endpoint and provides an async caching resolver that speaks actual DNS
+wire format over the socket — the full DNSBLv6 stack end to end.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from typing import Optional
+
+from ..dnsbl.bitmap import (bitmap_bit_for_ip, bitmap_test, ip_query_name,
+                            prefix_query_name, split_ip)
+from ..dnsbl.cache import TtlCache
+from ..dnsbl.message import (QTYPE_A, QTYPE_AAAA, RCODE_NOERROR, DnsMessage)
+from ..dnsbl.server import DnsblServer
+from ..errors import DnsError
+
+__all__ = ["UdpDnsblServer", "AsyncDnsblResolver"]
+
+
+class UdpDnsblServer:
+    """A DNSBL service listening on a real UDP socket."""
+
+    class _Protocol(asyncio.DatagramProtocol):
+        def __init__(self, logic: DnsblServer):
+            self.logic = logic
+            self.transport: Optional[asyncio.DatagramTransport] = None
+
+        def connection_made(self, transport):
+            self.transport = transport
+
+        def datagram_received(self, data: bytes, addr) -> None:
+            response = self.logic.handle_wire(data)
+            self.transport.sendto(response, addr)
+
+    def __init__(self, logic: DnsblServer, host: str = "127.0.0.1",
+                 port: int = 0):
+        self.logic = logic
+        self.host = host
+        self.port = port
+        self._transport: Optional[asyncio.DatagramTransport] = None
+
+    async def start(self) -> tuple[str, int]:
+        loop = asyncio.get_event_loop()
+        self._transport, _ = await loop.create_datagram_endpoint(
+            lambda: self._Protocol(self.logic),
+            local_addr=(self.host, self.port))
+        sockname = self._transport.get_extra_info("sockname")
+        self.host, self.port = sockname[0], sockname[1]
+        return self.host, self.port
+
+    async def stop(self) -> None:
+        if self._transport is not None:
+            self._transport.close()
+            self._transport = None
+
+    async def __aenter__(self) -> "UdpDnsblServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.stop()
+
+
+class AsyncDnsblResolver:
+    """Async caching DNSBL client speaking wire-format DNS over UDP.
+
+    ``strategy`` is ``"ip"`` (classic A queries) or ``"prefix"`` (DNSBLv6
+    AAAA bitmap queries, cached per /25).
+    """
+
+    class _Protocol(asyncio.DatagramProtocol):
+        def __init__(self):
+            self.transport = None
+            self.pending: dict[int, asyncio.Future] = {}
+
+        def connection_made(self, transport):
+            self.transport = transport
+
+        def datagram_received(self, data: bytes, addr) -> None:
+            try:
+                message = DnsMessage.decode(data)
+            except DnsError:
+                return
+            future = self.pending.pop(message.txid, None)
+            if future is not None and not future.done():
+                future.set_result(message)
+
+    def __init__(self, server_addr: tuple[str, int], zone: str,
+                 strategy: str = "prefix", ttl: float = 86_400.0,
+                 timeout: float = 2.0):
+        if strategy not in ("ip", "prefix"):
+            raise DnsError(f"unknown strategy {strategy!r}")
+        self.server_addr = server_addr
+        self.zone = zone
+        self.strategy = strategy
+        self.cache = TtlCache(ttl=ttl)
+        self.timeout = timeout
+        self.queries_sent = 0
+        self.lookups = 0
+        self._txids = itertools.count(1)
+        self._protocol: Optional[AsyncDnsblResolver._Protocol] = None
+
+    async def _ensure_socket(self) -> "_Protocol":
+        if self._protocol is None:
+            loop = asyncio.get_event_loop()
+            _, self._protocol = await loop.create_datagram_endpoint(
+                self._Protocol, remote_addr=self.server_addr)
+        return self._protocol
+
+    async def close(self) -> None:
+        if self._protocol is not None and self._protocol.transport:
+            self._protocol.transport.close()
+            self._protocol = None
+
+    def _cache_key(self, ip: str):
+        if self.strategy == "ip":
+            return ip
+        a, b, c, d = split_ip(ip)
+        return (f"{a}.{b}.{c}", 0 if d < 128 else 1)
+
+    async def is_listed(self, ip: str) -> bool:
+        """Resolve the blacklist status of ``ip`` (cached)."""
+        loop = asyncio.get_event_loop()
+        self.lookups += 1
+        key = self._cache_key(ip)
+        cached = self.cache.get(key, loop.time())
+        if cached is not None:
+            return self._interpret_cached(ip, cached)
+
+        protocol = await self._ensure_socket()
+        txid = next(self._txids) & 0xFFFF
+        if self.strategy == "ip":
+            query = DnsMessage.query(ip_query_name(ip, self.zone), QTYPE_A,
+                                     txid=txid)
+        else:
+            query = DnsMessage.query(prefix_query_name(ip, self.zone),
+                                     QTYPE_AAAA, txid=txid)
+        future: asyncio.Future = loop.create_future()
+        protocol.pending[txid] = future
+        protocol.transport.sendto(query.encode())
+        self.queries_sent += 1
+        try:
+            response = await asyncio.wait_for(future, self.timeout)
+        except asyncio.TimeoutError:
+            protocol.pending.pop(txid, None)
+            raise DnsError(f"DNSBL query for {ip} timed out")
+
+        if self.strategy == "ip":
+            value = (response.answers[0].a_address
+                     if response.rcode == RCODE_NOERROR and response.answers
+                     else None)
+        else:
+            value = (response.answers[0].aaaa_bits
+                     if response.rcode == RCODE_NOERROR and response.answers
+                     else 0)
+        self.cache.put(key, ("v", value), loop.time())
+        return self._listed(ip, value)
+
+    def _interpret_cached(self, ip: str, cached) -> bool:
+        _, value = cached
+        return self._listed(ip, value)
+
+    def _listed(self, ip: str, value) -> bool:
+        if self.strategy == "ip":
+            return value is not None
+        return bitmap_test(int(value), bitmap_bit_for_ip(ip))

@@ -1,0 +1,257 @@
+"""A POP3 (RFC 1939) retrieval server over any mailbox store.
+
+§6.1 scopes MFS to "mail server applications (mail server/POP/IMAP
+servers) — all the writing, reading, and deletion are done in units of
+mails".  The SMTP side writes mails; this server is the read/delete side,
+exercising the same mail-granularity store API (list / read / delete), so
+the full mailbox lifecycle runs over MFS: deliver once, retrieve from every
+recipient's mailbox, delete with refcounts.
+
+Supported commands: USER, PASS, STAT, LIST, UIDL, RETR, DELE, RSET, NOOP,
+QUIT.  Deletions are staged and applied at QUIT (RFC 1939 UPDATE state).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..storage.base import MailboxStore
+
+__all__ = ["Pop3Config", "Pop3Server"]
+
+CRLF = b"\r\n"
+
+#: authenticator: (user, password) -> mailbox name, or None to reject
+Authenticator = Callable[[str, str], Optional[str]]
+
+
+@dataclass
+class Pop3Config:
+    hostname: str = "pop.dest.example"
+    host: str = "127.0.0.1"
+    port: int = 0
+
+
+class _Session:
+    """Per-connection POP3 state."""
+
+    def __init__(self):
+        self.user: Optional[str] = None
+        self.mailbox: Optional[str] = None
+        self.mail_ids: list[str] = []
+        self.deleted: set[int] = set()   # 1-based message numbers
+
+    @property
+    def authenticated(self) -> bool:
+        return self.mailbox is not None
+
+    def live_numbers(self) -> list[int]:
+        return [n for n in range(1, len(self.mail_ids) + 1)
+                if n not in self.deleted]
+
+
+class Pop3Server:
+    """An asyncio POP3 server bound to a :class:`MailboxStore`."""
+
+    def __init__(self, config: Pop3Config, store: MailboxStore,
+                 authenticator: Authenticator):
+        self.config = config
+        self.store = store
+        self.authenticator = authenticator
+        self._server: Optional[asyncio.Server] = None
+        self.sessions_served = 0
+        self.mails_retrieved = 0
+        self.mails_deleted = 0
+
+    # -- lifecycle -----------------------------------------------------------
+    async def start(self) -> tuple[str, int]:
+        self._server = await asyncio.start_server(
+            self._on_connection, self.config.host, self.config.port)
+        sockname = self._server.sockets[0].getsockname()
+        return sockname[0], sockname[1]
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+
+    async def __aenter__(self) -> "Pop3Server":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.stop()
+
+    @property
+    def port(self) -> int:
+        return self._server.sockets[0].getsockname()[1]
+
+    # -- protocol --------------------------------------------------------------
+    async def _on_connection(self, reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> None:
+        self.sessions_served += 1
+        session = _Session()
+        writer.write(b"+OK " + self.config.hostname.encode() + b" POP3" + CRLF)
+        try:
+            while True:
+                await writer.drain()
+                line = await reader.readline()
+                if not line:
+                    return  # dropped: no UPDATE state, deletions discarded
+                verb, _, argument = line.decode("ascii", "replace") \
+                    .rstrip("\r\n").partition(" ")
+                handler = getattr(self, f"_do_{verb.lower()}", None)
+                if handler is None:
+                    writer.write(b"-ERR unknown command" + CRLF)
+                    continue
+                done = await handler(session, argument.strip(), writer)
+                if done:
+                    return
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            if not writer.is_closing():
+                writer.close()
+                try:
+                    await writer.wait_closed()
+                except (ConnectionResetError, BrokenPipeError):
+                    pass
+
+    # -- AUTHORIZATION state ----------------------------------------------------
+    async def _do_user(self, session, argument, writer) -> bool:
+        if not argument:
+            writer.write(b"-ERR USER requires a name" + CRLF)
+            return False
+        session.user = argument
+        writer.write(b"+OK send PASS" + CRLF)
+        return False
+
+    async def _do_pass(self, session, argument, writer) -> bool:
+        if session.user is None:
+            writer.write(b"-ERR USER first" + CRLF)
+            return False
+        mailbox = self.authenticator(session.user, argument)
+        if mailbox is None:
+            session.user = None
+            writer.write(b"-ERR invalid credentials" + CRLF)
+            return False
+        session.mailbox = mailbox
+        session.mail_ids = self.store.list_mailbox(mailbox)
+        writer.write(f"+OK {len(session.mail_ids)} messages".encode() + CRLF)
+        return False
+
+    # -- TRANSACTION state -------------------------------------------------------
+    def _require_auth(self, session, writer) -> bool:
+        if not session.authenticated:
+            writer.write(b"-ERR not authenticated" + CRLF)
+            return False
+        return True
+
+    def _payload(self, session, number: int) -> bytes:
+        mail_id = session.mail_ids[number - 1]
+        return self.store.read(session.mailbox, mail_id).payload
+
+    def _parse_number(self, session, argument, writer) -> Optional[int]:
+        try:
+            number = int(argument)
+        except ValueError:
+            writer.write(b"-ERR bad message number" + CRLF)
+            return None
+        if not 1 <= number <= len(session.mail_ids) \
+                or number in session.deleted:
+            writer.write(b"-ERR no such message" + CRLF)
+            return None
+        return number
+
+    async def _do_stat(self, session, argument, writer) -> bool:
+        if not self._require_auth(session, writer):
+            return False
+        live = session.live_numbers()
+        total = sum(len(self._payload(session, n)) for n in live)
+        writer.write(f"+OK {len(live)} {total}".encode() + CRLF)
+        return False
+
+    async def _do_list(self, session, argument, writer) -> bool:
+        if not self._require_auth(session, writer):
+            return False
+        if argument:
+            number = self._parse_number(session, argument, writer)
+            if number is not None:
+                size = len(self._payload(session, number))
+                writer.write(f"+OK {number} {size}".encode() + CRLF)
+            return False
+        live = session.live_numbers()
+        writer.write(f"+OK {len(live)} messages".encode() + CRLF)
+        for n in live:
+            writer.write(f"{n} {len(self._payload(session, n))}"
+                         .encode() + CRLF)
+        writer.write(b"." + CRLF)
+        return False
+
+    async def _do_uidl(self, session, argument, writer) -> bool:
+        if not self._require_auth(session, writer):
+            return False
+        if argument:
+            number = self._parse_number(session, argument, writer)
+            if number is not None:
+                writer.write(f"+OK {number} "
+                             f"{session.mail_ids[number - 1]}"
+                             .encode() + CRLF)
+            return False
+        writer.write(b"+OK" + CRLF)
+        for n in session.live_numbers():
+            writer.write(f"{n} {session.mail_ids[n - 1]}".encode() + CRLF)
+        writer.write(b"." + CRLF)
+        return False
+
+    async def _do_retr(self, session, argument, writer) -> bool:
+        if not self._require_auth(session, writer):
+            return False
+        number = self._parse_number(session, argument, writer)
+        if number is None:
+            return False
+        payload = self._payload(session, number)
+        self.mails_retrieved += 1
+        writer.write(f"+OK {len(payload)} octets".encode() + CRLF)
+        # byte-stuff lines beginning with '.'
+        for line in payload.split(CRLF):
+            if line.startswith(b"."):
+                line = b"." + line
+            writer.write(line + CRLF)
+        writer.write(b"." + CRLF)
+        return False
+
+    async def _do_dele(self, session, argument, writer) -> bool:
+        if not self._require_auth(session, writer):
+            return False
+        number = self._parse_number(session, argument, writer)
+        if number is None:
+            return False
+        session.deleted.add(number)
+        writer.write(f"+OK message {number} deleted".encode() + CRLF)
+        return False
+
+    async def _do_rset(self, session, argument, writer) -> bool:
+        if not self._require_auth(session, writer):
+            return False
+        session.deleted.clear()
+        writer.write(b"+OK" + CRLF)
+        return False
+
+    async def _do_noop(self, session, argument, writer) -> bool:
+        writer.write(b"+OK" + CRLF)
+        return False
+
+    async def _do_quit(self, session, argument, writer) -> bool:
+        # UPDATE state: apply staged deletions through the store API —
+        # under MFS these decref the shared mailbox (§6.1)
+        if session.authenticated:
+            for number in sorted(session.deleted):
+                self.store.delete(session.mailbox,
+                                  session.mail_ids[number - 1])
+                self.mails_deleted += 1
+        writer.write(b"+OK bye" + CRLF)
+        await writer.drain()
+        return True

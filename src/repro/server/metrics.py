@@ -1,0 +1,73 @@
+"""Metrics collected during a mail-server simulation run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..sim.stats import Cdf
+
+__all__ = ["ServerMetrics"]
+
+
+@dataclass
+class ServerMetrics:
+    """Counters a run produces; rates are computed against the run window.
+
+    *Goodput* follows §5.4: "the number of good mails per second received"
+    — a mail counts once it is accepted (queued) by the server.  *Delivered*
+    counts mailbox writes completed by the local-delivery stage, the unit
+    Figs. 10/11 plot ("mails written to the mailboxes per second": one mail
+    to five mailboxes counts five).
+    """
+
+    connections_started: int = 0
+    connections_finished: int = 0
+    connections_rejected: int = 0       # refused at accept (backlog full)
+    bounce_connections: int = 0
+    unfinished_connections: int = 0
+    mails_accepted: int = 0             # good mails queued (goodput unit)
+    mailbox_writes: int = 0             # per-recipient deliveries completed
+    rcpts_accepted: int = 0
+    rcpts_rejected: int = 0
+    dnsbl_lookups: int = 0
+    dnsbl_queries: int = 0              # actual DNS queries (cache misses)
+    dnsbl_rejects: int = 0
+    session_durations: Cdf = field(default_factory=Cdf)
+    lookup_latencies: Cdf = field(default_factory=Cdf)
+    #: filled in by the runner at the end of the run
+    run_time: float = 0.0
+    context_switches: int = 0
+    forks: int = 0
+    cpu_busy: float = 0.0
+    disk_busy: float = 0.0
+
+    def goodput(self) -> float:
+        """Accepted good mails per second."""
+        return self.mails_accepted / self.run_time if self.run_time else 0.0
+
+    def delivery_throughput(self) -> float:
+        """Mailbox writes per second (the Figs. 10/11 y-axis)."""
+        return self.mailbox_writes / self.run_time if self.run_time else 0.0
+
+    def connection_throughput(self) -> float:
+        return (self.connections_finished / self.run_time
+                if self.run_time else 0.0)
+
+    def dnsbl_query_fraction(self) -> float:
+        """Fraction of lookups that went to the network (Fig. 15)."""
+        return (self.dnsbl_queries / self.dnsbl_lookups
+                if self.dnsbl_lookups else 0.0)
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "connections": float(self.connections_finished),
+            "goodput_mails_per_sec": self.goodput(),
+            "delivery_throughput": self.delivery_throughput(),
+            "context_switches": float(self.context_switches),
+            "forks": float(self.forks),
+            "cpu_utilisation": (self.cpu_busy / self.run_time
+                                if self.run_time else 0.0),
+            "disk_utilisation": (self.disk_busy / self.run_time
+                                 if self.run_time else 0.0),
+            "dnsbl_query_fraction": self.dnsbl_query_fraction(),
+        }

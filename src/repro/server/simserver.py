@@ -1,0 +1,395 @@
+"""The simulated postfix-style mail server: vanilla and fork-after-trust.
+
+Both architectures share the SMTP session logic and the delivery pipeline;
+they differ *only* in who executes the envelope phase and how connections
+reach smtpd processes — exactly the delta between the paper's Figs. 6 and 7:
+
+* **vanilla** (Fig. 6): the master hands every new connection to an smtpd
+  process (forking one when no idle process exists, up to the process
+  limit).  Every protocol step runs in the worker's OS process, so the CPU
+  pays a context switch whenever it moves between sessions.
+* **hybrid** (Fig. 7): the master runs the envelope (banner → HELO → MAIL →
+  RCPT) in its own event loop — all CPU slices carry the *master's* pid, so
+  interleaved envelope work causes no context switches.  Only once a valid
+  recipient is confirmed is the session delegated, over a bounded task
+  queue (the 64 KB UNIX-socket buffer, §5.3: ≈28 tasks), to an smtpd
+  worker that finishes the transaction.  Bounce and unfinished sessions
+  never leave the master.
+
+The OS-process accounting (pids, context switches, forks) is handled by
+:class:`repro.sim.resources.CPU`; mailbox writes are priced by the
+filesystem cost models via the planners in :mod:`repro.server.ioplan`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+from ..dnsbl.resolver import DnsblResolver
+from ..sim.core import Process, Simulator
+from ..sim.resources import CPU, Disk, Store
+from ..traces.record import Connection, MailAttempt
+from .config import ServerConfig
+from .ioplan import plan_delivery, plan_queue_write
+from .metrics import ServerMetrics
+
+__all__ = ["MailServerSim"]
+
+MASTER_PID = 0
+DELIVERY_PID = 1
+_FIRST_WORKER_PID = 100
+
+
+class _Worker:
+    """One smtpd OS process."""
+
+    __slots__ = ("pid", "inbox", "served")
+
+    def __init__(self, pid: int, inbox: Store):
+        self.pid = pid
+        self.inbox = inbox
+        self.served = 0
+
+
+class MailServerSim:
+    """A complete simulated mail server bound to one :class:`Simulator`."""
+
+    def __init__(self, sim: Simulator, config: ServerConfig,
+                 resolver: Optional[DnsblResolver] = None,
+                 reject_blacklisted: bool = False):
+        self.sim = sim
+        self.config = config
+        self.costs = config.costs
+        self.resolver = resolver
+        self.reject_blacklisted = reject_blacklisted
+        self.metrics = ServerMetrics()
+
+        self.cpu = CPU(sim, cores=1,
+                       context_switch_cost=self.costs.context_switch_cost,
+                       fork_cost=self.costs.fork_cost)
+        self.disk = Disk(sim)
+        self._pids = itertools.count(_FIRST_WORKER_PID)
+
+        # delivery pipeline: accepted mails → queue manager → local agents
+        self.incoming: Store = Store(sim, name="incoming-queue")
+        for agent in range(config.delivery_concurrency):
+            sim.process(self._delivery_loop(DELIVERY_PID + agent),
+                        name=f"delivery-{agent}")
+
+        # worker pool
+        self._workers: list[_Worker] = []
+        self._idle: list[_Worker] = []
+        self._forking = 0  # forks in flight (the fork itself blocks)
+        self._rr_index = 0
+        if config.architecture == "vanilla":
+            # connections waiting for an smtpd process (the listen backlog)
+            self._backlog: Store = Store(sim, capacity=config.accept_backlog,
+                                         name="backlog")
+
+    # ------------------------------------------------------------------ API --
+    def connect(self, conn: Connection) -> Process:
+        """A client opens ``conn``; returns the session-completion process."""
+        name = f"conn@{conn.t:.3f}"
+        if self.config.architecture == "vanilla":
+            return self.sim.process(self._vanilla_entry(conn), name=name)
+        return self.sim.process(self._hybrid_entry(conn), name=name)
+
+    def finalize(self, run_time: float) -> ServerMetrics:
+        """Snapshot metrics after a run of ``run_time`` simulated seconds."""
+        m = self.metrics
+        m.run_time = run_time
+        m.context_switches = self.cpu.context_switches
+        m.forks = self.cpu.forks
+        m.cpu_busy = self.cpu.busy_time
+        m.disk_busy = self.disk.busy_time
+        return m
+
+    # -------------------------------------------------------- vanilla path --
+    def _vanilla_entry(self, conn: Connection):
+        """Master side: find or fork an smtpd, then run the session in it."""
+        self.metrics.connections_started += 1
+        if not self._idle and (len(self._workers) + self._forking
+                               < self.config.process_limit):
+            # reserve the slot before the fork blocks, so concurrent
+            # arrivals cannot overshoot the process limit
+            self._forking += 1
+            yield from self.cpu.fork(MASTER_PID)
+            self._forking -= 1
+            worker = _Worker(next(self._pids),
+                             Store(self.sim, capacity=1))
+            self._workers.append(worker)
+            self._idle.append(worker)
+            self.sim.process(self._vanilla_worker_loop(worker),
+                             name=f"smtpd-{worker.pid}")
+        done = self.sim.event()
+        if self._idle:
+            worker = self._idle.pop()
+            worker.inbox.try_put((conn, done))
+        else:
+            yield self._backlog.put((conn, done))
+        yield done
+
+    def _vanilla_worker_loop(self, worker: _Worker):
+        """One smtpd process: serve sessions until recycled (max_use).
+
+        The worker drains the shared backlog first (connections that arrived
+        while every process was busy), then parks itself in the idle pool
+        waiting on its inbox; the master dispatches to idle workers directly.
+        """
+        while worker.served < self.config.worker_max_requests:
+            ok, item = self._backlog.try_get()
+            if not ok:
+                if worker not in self._idle:
+                    self._idle.append(worker)
+                item = yield worker.inbox.get()
+            elif worker in self._idle:
+                # serving straight from the backlog: not dispatchable now
+                self._idle.remove(worker)
+            conn, done = item
+            worker.served += 1
+            yield from self._run_session(conn, worker.pid, worker.pid)
+            done.succeed(None)
+        # recycled: the OS process exits; the master forks afresh on demand.
+        # A connection dispatched while we served our last session must not
+        # be dropped: finish it before exiting (postfix lets max_use slip by
+        # the request already in flight).
+        self._workers.remove(worker)
+        if worker in self._idle:
+            self._idle.remove(worker)
+        ok, item = worker.inbox.try_get()
+        if ok:
+            conn, done = item
+            yield from self._run_session(conn, worker.pid, worker.pid)
+            done.succeed(None)
+
+    # --------------------------------------------------------- hybrid path --
+    def _hybrid_entry(self, conn: Connection):
+        """Master event loop: envelope inline, delegate after trust."""
+        self.metrics.connections_started += 1
+        outcome = yield from self._run_envelope(conn, MASTER_PID,
+                                                event_mode=True)
+        if outcome is None:
+            # bounce / unfinished / rejected: fully handled by the master
+            return
+        mail, remaining = outcome
+        # delegate to a worker over a bounded task socket (§5.3)
+        yield from self.cpu.compute(MASTER_PID, self.costs.delegation_cost)
+        worker = self._pick_hybrid_worker()
+        task = (conn, mail, remaining, self.sim.now)
+        if not worker.inbox.try_put(task):
+            # all sockets full: the finite buffers throttle the master
+            yield worker.inbox.put(task)
+
+    def _pick_hybrid_worker(self) -> _Worker:
+        """Round-robin over the worker pool, growing it up to the limit."""
+        if len(self._workers) < self.config.process_limit:
+            worker = _Worker(next(self._pids),
+                             Store(self.sim,
+                                   capacity=self.config.task_queue_depth))
+            self._workers.append(worker)
+            self.sim.process(self._hybrid_worker_loop(worker),
+                             name=f"smtpd-{worker.pid}")
+            return worker
+        # nonblocking round-robin: first worker with buffer space, else the
+        # next one in order (master blocks on it — the natural throttle)
+        n = len(self._workers)
+        for i in range(n):
+            worker = self._workers[(self._rr_index + i) % n]
+            if not worker.inbox.is_full:
+                self._rr_index = (self._rr_index + i + 1) % n
+                return worker
+        worker = self._workers[self._rr_index]
+        self._rr_index = (self._rr_index + 1) % n
+        return worker
+
+    def _hybrid_worker_loop(self, worker: _Worker):
+        while True:
+            conn, mail, remaining, _t = yield worker.inbox.get()
+            worker.served += 1
+            # the delegated connection now occupies this OS process: pay the
+            # per-connection process tax the bounces avoided
+            yield from self.cpu.compute(worker.pid,
+                                        self.costs.process_dispatch_cost)
+            yield from self._run_data_phase(conn, mail, remaining, worker.pid)
+
+    # ----------------------------------------------------- session phases --
+    def _run_session(self, conn: Connection, envelope_pid: int,
+                     data_pid: int):
+        """The whole SMTP transaction (vanilla: both phases in the worker)."""
+        yield from self.cpu.compute(envelope_pid,
+                                    self.costs.process_dispatch_cost)
+        outcome = yield from self._run_envelope(conn, envelope_pid,
+                                                event_mode=False)
+        if outcome is None:
+            return
+        mail, remaining = outcome
+        yield from self._run_data_phase(conn, mail, remaining, data_pid)
+
+    def _run_envelope(self, conn: Connection, pid: int,
+                      event_mode: bool):
+        """Banner → HELO → (DNSBL) → MAIL/RCPT until the first valid RCPT.
+
+        ``event_mode`` selects the cheap event-loop cost tier (hybrid
+        master) versus full smtpd process costs (vanilla).  Returns ``None``
+        when the session ends here (bounce, unfinished or blacklist-
+        rejected), else ``(trusted_mail, remaining_mails)``.
+        """
+        costs = self.costs
+        cpu, sim = self.cpu, self.sim
+        t0 = sim.now
+        accept_cost = (costs.event_accept_cost if event_mode
+                       else costs.accept_cost)
+        command_cost = (costs.event_command_cost if event_mode
+                        else costs.command_cost)
+
+        yield from cpu.compute(pid, accept_cost)         # accept + banner
+        yield sim.timeout(costs.rtt)                     # banner → HELO
+        yield from cpu.compute(pid, command_cost)        # HELO
+        if self.resolver is not None:
+            rejected = yield from self._dnsbl_check(conn, pid)
+            if rejected:
+                self._finish(conn, t0, rejected=True)
+                return None
+        yield sim.timeout(costs.rtt)
+
+        if conn.unfinished:
+            yield from cpu.compute(pid, command_cost)        # QUIT
+            self.metrics.unfinished_connections += 1
+            self._finish(conn, t0)
+            return None
+
+        for index, mail in enumerate(conn.mails):
+            yield from cpu.compute(pid, command_cost)        # MAIL FROM
+            yield sim.timeout(costs.rtt)
+            for r_index, rcpt in enumerate(mail.recipients):
+                yield from cpu.compute(
+                    pid, command_cost + costs.rcpt_lookup_cost)
+                self.metrics.rcpts_accepted += rcpt.valid
+                self.metrics.rcpts_rejected += not rcpt.valid
+                yield sim.timeout(costs.rtt)
+                if rcpt.valid:
+                    # fork-after-trust boundary: first valid recipient.
+                    # The already-validated recipient plus the rest of this
+                    # mail's envelope travel with the delegation.
+                    return (_TrustedMail(mail, r_index + 1),
+                            conn.mails[index + 1:])
+            # every recipient of this mail bounced; next MAIL (if any)
+        yield from cpu.compute(pid, command_cost)        # QUIT
+        self.metrics.bounce_connections += 1
+        self._finish(conn, t0)
+        return None
+
+    def _run_data_phase(self, conn: Connection, trusted: "_TrustedMail",
+                        remaining: list[MailAttempt], pid: int):
+        """Finish the transaction: rest of the RCPTs, DATA, further mails."""
+        costs = self.costs
+        cpu, sim = self.cpu, self.sim
+        t0 = sim.now
+
+        mail = trusted.mail
+        for rcpt in mail.recipients[trusted.validated_rcpts:]:
+            yield from cpu.compute(
+                pid, costs.command_cost + costs.rcpt_lookup_cost)
+            self.metrics.rcpts_accepted += rcpt.valid
+            self.metrics.rcpts_rejected += not rcpt.valid
+            yield sim.timeout(costs.rtt)
+        yield from self._receive_data(mail, pid)
+
+        for mail in remaining:
+            yield from cpu.compute(pid, costs.command_cost)  # MAIL FROM
+            yield sim.timeout(costs.rtt)
+            any_valid = False
+            for rcpt in mail.recipients:
+                yield from cpu.compute(
+                    pid, costs.command_cost + costs.rcpt_lookup_cost)
+                self.metrics.rcpts_accepted += rcpt.valid
+                self.metrics.rcpts_rejected += not rcpt.valid
+                yield sim.timeout(costs.rtt)
+                any_valid = any_valid or rcpt.valid
+            if any_valid:
+                yield from self._receive_data(mail, pid)
+        yield from cpu.compute(pid, costs.command_cost)  # QUIT
+        self._finish(conn, t0, accepted=True)
+
+    def _receive_data(self, mail: MailAttempt, pid: int):
+        """DATA command, body transfer, cleanup and queue write."""
+        costs = self.costs
+        yield from self.cpu.compute(pid, costs.command_cost)  # DATA
+        yield self.sim.timeout(costs.rtt)                     # 354 → body
+        yield from self.cpu.compute(
+            pid, costs.data_fixed_cost + mail.size * costs.data_per_byte)
+        if self.config.queue_files:
+            for op in plan_queue_write(mail.size):
+                yield from self.disk.io(self.config.fs_model.cost(op),
+                                        op.nbytes)
+        yield self.sim.timeout(costs.rtt)                     # 250 queued
+        self.metrics.mails_accepted += 1
+        if self.config.discard_delivery:
+            # sinkhole mode: accept, count, and drop (no mailbox writes)
+            return
+        n_valid = len(mail.valid_recipients)
+        self.incoming.put((mail.size, n_valid))
+
+    def _dnsbl_check(self, conn: Connection, pid: int):
+        """Blacklist lookup at connect time; returns True when rejected."""
+        costs = self.costs
+        yield from self.cpu.compute(pid, costs.dns_cache_cost)
+        # DNS cache emulation (§7.2): the paper replays the two-month trace
+        # and emulates cache contents at *trace* time, not replay time
+        clock = conn.t if self.config.dnsbl_use_trace_time else self.sim.now
+        result = self.resolver.lookup(conn.client_ip, clock)
+        self.metrics.dnsbl_lookups += 1
+        self.metrics.lookup_latencies.add(result.latency)
+        if not result.cache_hit:
+            self.metrics.dnsbl_queries += 1
+            yield from self.cpu.compute(
+                pid, costs.dns_query_cost * max(1, result.queries_issued))
+            yield self.sim.timeout(result.latency)
+        if result.listed and self.reject_blacklisted:
+            self.metrics.dnsbl_rejects += 1
+            return True
+        return False
+
+    def _finish(self, conn: Connection, t0: float, accepted: bool = False,
+                rejected: bool = False) -> None:
+        self.metrics.connections_finished += 1
+        if rejected:
+            self.metrics.connections_rejected += 1
+        self.metrics.session_durations.add(self.sim.now - t0)
+
+    # ----------------------------------------------------------- delivery --
+    def _delivery_loop(self, pid: int):
+        """Queue manager + local delivery: mailbox writes via the backend.
+
+        Several agents run concurrently (postfix's destination concurrency)
+        so mailbox disk writes overlap the agents' CPU work.  Each recipient
+        costs local-agent CPU: opening/locking/writing the destination
+        mailbox — cheaper under MFS, whose ``mail_nwrite`` batches all
+        recipients under one shared-mailbox operation (§6.2).
+        """
+        costs = self.costs
+        backend = self.config.storage_backend
+        per_write_cpu = (costs.mfs_local_write_cost if backend == "mfs"
+                         else costs.local_write_cost)
+        while True:
+            size, n_rcpts = yield self.incoming.get()
+            # I/O-bound delivery agents get scheduler priority over the
+            # CPU-hungry smtpd pool, as a real OS scheduler would arrange
+            yield from self.cpu.compute(
+                pid, costs.delivery_fixed_cost + n_rcpts * per_write_cpu,
+                priority=-1)
+            for op in plan_delivery(backend, size, n_rcpts):
+                yield from self.disk.io(self.config.fs_model.cost(op),
+                                        op.nbytes)
+            self.metrics.mailbox_writes += n_rcpts
+
+
+class _TrustedMail:
+    """A mail whose first ``validated_rcpts`` recipients are already done."""
+
+    __slots__ = ("mail", "validated_rcpts")
+
+    def __init__(self, mail: MailAttempt, validated_rcpts: int):
+        self.mail = mail
+        self.validated_rcpts = validated_rcpts

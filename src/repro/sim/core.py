@@ -1,0 +1,425 @@
+"""Discrete-event simulation core.
+
+This module provides a small, self-contained discrete-event simulation (DES)
+engine in the style of SimPy: simulated *processes* are Python generators that
+``yield`` :class:`Event` objects and are resumed when those events fire.  The
+engine is used by :mod:`repro.server` to model the postfix-style mail server
+architectures (process-per-connection vs. fork-after-trust) with explicit
+accounting of forks, context switches, disk operations and DNS lookups — the
+quantities the paper's evaluation is about.
+
+Design notes
+------------
+* Time is a ``float`` in **seconds**.  There is no wall-clock coupling; a run
+  is fully deterministic given its RNG seeds.
+* The event heap orders by ``(time, priority, sequence)`` so same-time events
+  fire in a stable, insertion-ordered way.
+* A :class:`Process` is itself an :class:`Event` that succeeds with the
+  generator's return value, so processes can wait on each other.
+
+Example
+-------
+>>> sim = Simulator()
+>>> log = []
+>>> def worker(sim, name, delay):
+...     yield sim.timeout(delay)
+...     log.append((sim.now, name))
+>>> _ = sim.process(worker(sim, "a", 2.0))
+>>> _ = sim.process(worker(sim, "b", 1.0))
+>>> sim.run()
+>>> log
+[(1.0, 'b'), (2.0, 'a')]
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "Event",
+    "Timeout",
+    "Process",
+    "AnyOf",
+    "AllOf",
+    "Interrupt",
+    "SimulationError",
+    "Simulator",
+]
+
+
+class SimulationError(Exception):
+    """Raised for illegal uses of the simulation API."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process that is interrupted via :meth:`Process.interrupt`.
+
+    The ``cause`` attribute carries the value passed to ``interrupt()``.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence in simulated time.
+
+    An event starts *pending*, is *triggered* exactly once with either a value
+    (:meth:`succeed`) or an exception (:meth:`fail`), and then has its
+    callbacks run by the simulator at the scheduled time.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_scheduled")
+
+    #: sentinel for "not yet triggered"
+    _PENDING = object()
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = Event._PENDING
+        self._ok: bool = True
+        self._scheduled = False
+
+    # -- state ------------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """Whether the event has been given a value or exception."""
+        return self._value is not Event._PENDING
+
+    @property
+    def processed(self) -> bool:
+        """Whether the event's callbacks have already run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """Whether the event succeeded (only meaningful once triggered)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if not self.triggered:
+            raise SimulationError("event value is not yet available")
+        return self._value
+
+    # -- triggering -------------------------------------------------------
+    def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
+        """Trigger the event successfully with ``value`` after ``delay``."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._value = value
+        self._ok = True
+        self.sim._schedule(self, delay)
+        return self
+
+    def fail(self, exception: BaseException, delay: float = 0.0) -> "Event":
+        """Trigger the event with an exception after ``delay``.
+
+        A process waiting on the event will have the exception thrown into it.
+        """
+        if self.triggered:
+            raise SimulationError(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._value = exception
+        self._ok = False
+        self.sim._schedule(self, delay)
+        return self
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Run ``callback(event)`` when the event is processed.
+
+        If the event has already been processed, the callback runs
+        immediately (still inside the current simulation step).
+        """
+        if self.callbacks is None:
+            callback(self)
+        else:
+            self.callbacks.append(callback)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "processed" if self.processed else (
+            "triggered" if self.triggered else "pending")
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` simulated seconds after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay!r}")
+        super().__init__(sim)
+        self.delay = delay
+        self._value = value
+        self._ok = True
+        sim._schedule(self, delay)
+
+
+class Process(Event):
+    """A simulated process driven by a generator.
+
+    The process is resumed whenever the event it yielded fires; it finishes —
+    and, being an event itself, *succeeds* — with the generator's return
+    value.  If the generator raises, the process fails with that exception
+    (which propagates to any process waiting on it, or aborts the run if
+    nobody is waiting).
+    """
+
+    __slots__ = ("generator", "name", "_target", "_interrupts", "_had_waiter")
+
+    def __init__(self, sim: "Simulator", generator: Generator,
+                 name: Optional[str] = None):
+        if not hasattr(generator, "send"):
+            raise SimulationError(
+                f"process body must be a generator, got {generator!r}")
+        super().__init__(sim)
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._target: Optional[Event] = None
+        self._interrupts: list[Interrupt] = []
+        self._had_waiter = False
+        # Kick the process off via an immediately-scheduled initialisation
+        # event so it starts *inside* the run loop at the current time.
+        init = Event(sim)
+        init.succeed(None)
+        init.add_callback(self._resume)
+
+    @property
+    def is_alive(self) -> bool:
+        return not self.triggered
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """As :meth:`Event.add_callback`; also marks the failure as handled.
+
+        A process whose completion nobody observes and that dies with an
+        exception aborts the run (see :meth:`Simulator.run`); subscribing to
+        the process — e.g. by yielding it — takes on that responsibility.
+        """
+        self._had_waiter = True
+        super().add_callback(callback)
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        Interrupting a finished process is an error; interrupting a process
+        that is about to be resumed queues the interrupt.
+        """
+        if self.triggered:
+            raise SimulationError(f"cannot interrupt finished {self.name!r}")
+        self._interrupts.append(Interrupt(cause))
+        wakeup = Event(self.sim)
+        wakeup.succeed(None)
+        wakeup.add_callback(self._resume)
+
+    # -- engine internals ---------------------------------------------------
+    def _resume(self, trigger: Event) -> None:
+        if self.triggered:
+            return  # already finished (e.g. interrupt raced with completion)
+        if self._interrupts:
+            interrupt = self._interrupts.pop(0)
+            self._detach()
+            self._step(lambda: self.generator.throw(interrupt))
+        elif trigger is self._target or self._target is None:
+            self._target = None
+            if not trigger.ok:
+                self._step(lambda: self.generator.throw(trigger.value))
+            else:
+                self._step(lambda: self.generator.send(trigger.value))
+        # else: stale wakeup for an event we no longer wait on — ignore.
+
+    def _detach(self) -> None:
+        """Forget the event we were waiting on (used on interrupt)."""
+        self._target = None
+
+    def _step(self, advance: Callable[[], Any]) -> None:
+        self.sim._active_process = self
+        try:
+            target = advance()
+        except StopIteration as stop:
+            self._finish_ok(stop.value)
+            return
+        except BaseException as exc:
+            self._finish_fail(exc)
+            return
+        finally:
+            self.sim._active_process = None
+        if not isinstance(target, Event):
+            exc = SimulationError(
+                f"process {self.name!r} yielded non-event {target!r}")
+            self._finish_fail(exc)
+            return
+        if target.sim is not self.sim:
+            self._finish_fail(SimulationError(
+                f"process {self.name!r} yielded an event from another "
+                "simulator"))
+            return
+        self._target = target
+        target.add_callback(self._resume)
+
+    def _finish_ok(self, value: Any) -> None:
+        self._value = value
+        self._ok = True
+        self.sim._schedule(self, 0.0)
+
+    def _finish_fail(self, exc: BaseException) -> None:
+        self._value = exc
+        self._ok = False
+        self.sim._schedule(self, 0.0)
+        self.sim._note_failure(self, exc)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Process {self.name!r} {'done' if self.triggered else 'alive'}>"
+
+
+class _Condition(Event):
+    """Base for :class:`AnyOf` / :class:`AllOf`."""
+
+    __slots__ = ("events", "_outstanding")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self.events = list(events)
+        for event in self.events:
+            if event.sim is not sim:
+                raise SimulationError("condition mixes simulators")
+        self._outstanding = len(self.events)
+        if not self.events:
+            self.succeed({})
+        else:
+            for event in self.events:
+                event.add_callback(self._on_child)
+
+    def _on_child(self, event: Event) -> None:
+        raise NotImplementedError
+
+    def _collect(self) -> dict:
+        # ``processed`` (callbacks ran), not merely ``triggered``: timeouts
+        # are triggered at creation but have not *occurred* until processed.
+        return {e: e.value for e in self.events if e.processed and e.ok}
+
+
+class AnyOf(_Condition):
+    """Succeeds as soon as any constituent event succeeds.
+
+    The value is a dict mapping the already-triggered events to their values.
+    A failing child fails the condition.
+    """
+
+    __slots__ = ()
+
+    def _on_child(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event.ok:
+            self.fail(event.value)
+        else:
+            self.succeed(self._collect())
+
+
+class AllOf(_Condition):
+    """Succeeds once every constituent event has succeeded."""
+
+    __slots__ = ()
+
+    def _on_child(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event.ok:
+            self.fail(event.value)
+            return
+        self._outstanding -= 1
+        if self._outstanding == 0:
+            self.succeed(self._collect())
+
+
+class Simulator:
+    """The event loop: a priority queue of events over simulated time."""
+
+    def __init__(self):
+        self.now: float = 0.0
+        self._heap: list = []
+        self._sequence = itertools.count()
+        self._active_process: Optional[Process] = None
+        self._unhandled: list[tuple[Process, BaseException]] = []
+
+    # -- public API ---------------------------------------------------------
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Return an event firing ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def event(self) -> Event:
+        """Return a fresh untriggered event."""
+        return Event(self)
+
+    def process(self, generator: Generator, name: Optional[str] = None) -> Process:
+        """Start a new process from ``generator``."""
+        return Process(self, generator, name=name)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being stepped, if any."""
+        return self._active_process
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the heap drains or simulated time reaches ``until``.
+
+        Raises the first unhandled process exception, if any occurred.
+        """
+        while self._heap:
+            time, _, _, event = self._heap[0]
+            if until is not None and time > until:
+                break
+            heapq.heappop(self._heap)
+            self.now = time
+            callbacks, event.callbacks = event.callbacks, None
+            for callback in callbacks or ():
+                callback(event)
+            if self._unhandled:
+                process, exc = self._unhandled[0]
+                # A process waiting on the failed process counts as handling.
+                raise SimulationError(
+                    f"unhandled exception in process {process.name!r}: "
+                    f"{exc!r}") from exc
+        if until is not None and self.now < until:
+            self.now = until
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` when idle."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    # -- engine internals -----------------------------------------------------
+    def _schedule(self, event: Event, delay: float, priority: int = 0) -> None:
+        if event._scheduled:
+            raise SimulationError(f"{event!r} scheduled twice")
+        event._scheduled = True
+        heapq.heappush(
+            self._heap, (self.now + delay, priority, next(self._sequence), event))
+
+    def _note_failure(self, process: Process, exc: BaseException) -> None:
+        """Abort the run for a failed process unless somebody is waiting on it.
+
+        The check is deferred to the moment the process' completion event is
+        processed so that waiters registered in the meantime count.
+        """
+        had_waiter_before_audit = process._had_waiter
+
+        def audit(event: Event) -> None:
+            if not (had_waiter_before_audit or process._had_waiter):
+                self._unhandled.append((process, exc))
+
+        # Bypass Process.add_callback so the audit itself does not count as a
+        # waiter.
+        Event.add_callback(process, audit)

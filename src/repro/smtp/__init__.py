@@ -1,0 +1,29 @@
+"""Sans-IO SMTP protocol implementation.
+
+Address parsing, command/reply codecs, the server-side session state machine
+with the fork-after-trust boundary surfaced as an action, and a client
+session driver used by the load generators.
+"""
+
+from .address import Address, parse_address, parse_path
+from .client_fsm import ClientSession, ClientState, MailResult, OutgoingMail
+from .commands import Command, Verb, parse_command_line
+from .constants import (CRLF, DEFAULT_SMTP_PORT, MAX_LINE_LENGTH,
+                        MAX_RECIPIENTS, ReplyCode, SessionOutcome,
+                        SessionState)
+from .fsm import (AcceptedMail, Action, CloseSession, SendReply,
+                  ServerSession, TrustEstablished)
+from .message import MailIdGenerator, MailMessage
+from .replies import Reply, STANDARD, parse_reply_line
+
+__all__ = [
+    "Address", "parse_address", "parse_path",
+    "ClientSession", "ClientState", "MailResult", "OutgoingMail",
+    "Command", "Verb", "parse_command_line",
+    "CRLF", "DEFAULT_SMTP_PORT", "MAX_LINE_LENGTH", "MAX_RECIPIENTS",
+    "ReplyCode", "SessionOutcome", "SessionState",
+    "AcceptedMail", "Action", "CloseSession", "SendReply", "ServerSession",
+    "TrustEstablished",
+    "MailIdGenerator", "MailMessage",
+    "Reply", "STANDARD", "parse_reply_line",
+]

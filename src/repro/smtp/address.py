@@ -1,0 +1,101 @@
+"""Mail address parsing and validation.
+
+A deliberately small subset of RFC 2821 path syntax: addresses are
+``local-part@domain`` with optional angle brackets and an optional
+source-route prefix (``@relay1,@relay2:user@domain``), which RFC 2821 requires
+servers to accept and ignore.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from ..errors import ProtocolError
+
+__all__ = ["Address", "parse_path", "parse_address"]
+
+# local-part: dot-atom (no quoted-string support; the traces don't use them).
+_LOCAL_RE = re.compile(r"^[A-Za-z0-9!#$%&'*+/=?^_`{|}~.-]+$")
+_DOMAIN_RE = re.compile(
+    r"^[A-Za-z0-9]([A-Za-z0-9-]{0,61}[A-Za-z0-9])?"
+    r"(\.[A-Za-z0-9]([A-Za-z0-9-]{0,61}[A-Za-z0-9])?)*$")
+_LITERAL_RE = re.compile(r"^\[\d{1,3}(\.\d{1,3}){3}\]$")
+
+
+@dataclass(frozen=True, order=True)
+class Address:
+    """A parsed mailbox address.
+
+    >>> Address.parse("Bob.Smith@example.ORG")
+    Address(local='Bob.Smith', domain='example.org')
+    >>> str(Address("abuse", "example.org"))
+    'abuse@example.org'
+    """
+
+    local: str
+    domain: str
+
+    def __post_init__(self):
+        if not self.local or not _LOCAL_RE.match(self.local):
+            raise ProtocolError(f"invalid local part: {self.local!r}")
+        if ".." in self.local or self.local.startswith(".") \
+                or self.local.endswith("."):
+            raise ProtocolError(f"invalid dots in local part: {self.local!r}")
+        if not (_DOMAIN_RE.match(self.domain) or _LITERAL_RE.match(self.domain)):
+            raise ProtocolError(f"invalid domain: {self.domain!r}")
+
+    @classmethod
+    def parse(cls, text: str) -> "Address":
+        """Parse ``local@domain``, lower-casing the domain (RFC 2821 §2.4)."""
+        if text.count("@") != 1:
+            raise ProtocolError(f"address must contain exactly one '@': {text!r}")
+        local, domain = text.split("@")
+        return cls(local, domain.lower())
+
+    @property
+    def mailbox(self) -> str:
+        """The canonical mailbox name used as a storage key."""
+        return f"{self.local.lower()}@{self.domain}"
+
+    def __str__(self) -> str:
+        return f"{self.local}@{self.domain}"
+
+
+def parse_path(path: str, allow_empty: bool = False):
+    """Parse an RFC 2821 path as it appears in MAIL FROM / RCPT TO.
+
+    Returns an :class:`Address`, or ``None`` for the null reverse-path
+    ``<>`` when ``allow_empty`` is true (used by bounce notifications).
+
+    >>> parse_path("<user@example.com>")
+    Address(local='user', domain='example.com')
+    >>> parse_path("<@relay.example:user@example.com>")
+    Address(local='user', domain='example.com')
+    >>> parse_path("<>", allow_empty=True) is None
+    True
+    """
+    text = path.strip()
+    if text.startswith("<") and text.endswith(">"):
+        text = text[1:-1]
+    elif "<" in text or ">" in text:
+        raise ProtocolError(f"unbalanced angle brackets in path: {path!r}")
+    if not text:
+        if allow_empty:
+            return None
+        raise ProtocolError("empty path not allowed here")
+    # Strip (and ignore) an RFC 2821 source route: "@a,@b:user@dom".
+    if text.startswith("@"):
+        route, colon, mailbox = text.partition(":")
+        if not colon:
+            raise ProtocolError(f"malformed source route: {path!r}")
+        for hop in route.split(","):
+            if not hop.startswith("@") or not _DOMAIN_RE.match(hop[1:]):
+                raise ProtocolError(f"malformed source route hop: {hop!r}")
+        text = mailbox
+    return Address.parse(text)
+
+
+def parse_address(text: str) -> Address:
+    """Parse a bare ``local@domain`` address (no angle brackets)."""
+    return Address.parse(text.strip())

@@ -1,0 +1,254 @@
+"""Sans-IO SMTP client session state machine.
+
+:class:`ClientSession` drives one SMTP connection that delivers a sequence of
+:class:`OutgoingMail` items — the programmatic equivalent of the paper's
+"Client program 1/2" C programs.  Feed it received bytes, write out the bytes
+it returns:
+
+>>> mail = OutgoingMail("a@example.com", ["b@dest.org"], b"hi\\r\\n")
+>>> client = ClientSession([mail])
+>>> client.receive_data(b"220 dest.org ESMTP\\r\\n")
+b'EHLO client.example\\r\\n'
+
+It also supports deliberately *unfinished* sessions (connect, handshake, then
+QUIT before sending any mail) — the rogue-connection behaviour of §4.1 — via
+``quit_after_helo=True``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional, Sequence
+
+from ..errors import ProtocolError
+from .constants import CRLF
+from .replies import parse_reply_line
+
+__all__ = ["OutgoingMail", "MailResult", "ClientSession", "ClientState"]
+
+
+@dataclass
+class OutgoingMail:
+    """One mail to attempt: envelope plus body (already CRLF-lined)."""
+
+    sender: str
+    recipients: Sequence[str]
+    body: bytes = b""
+
+    def __post_init__(self):
+        if not self.recipients:
+            raise ValueError("an outgoing mail needs at least one recipient")
+
+
+@dataclass
+class MailResult:
+    """Outcome of one mail attempt within a session."""
+
+    mail: OutgoingMail
+    accepted_recipients: list[str] = field(default_factory=list)
+    rejected_recipients: list[str] = field(default_factory=list)
+    delivered: bool = False
+    reply: str = ""
+
+
+class ClientState(Enum):
+    WAIT_BANNER = "wait_banner"
+    WAIT_EHLO = "wait_ehlo"
+    WAIT_MAIL = "wait_mail"
+    WAIT_RCPT = "wait_rcpt"
+    WAIT_DATA_GO = "wait_data_go"
+    WAIT_DATA_ACK = "wait_data_ack"
+    WAIT_RSET = "wait_rset"
+    WAIT_QUIT = "wait_quit"
+    DONE = "done"
+    FAILED = "failed"
+
+
+def dot_stuff(body: bytes) -> bytes:
+    """Apply RFC 2821 §4.5.2 transparency to a message body."""
+    if not body:
+        return b""
+    if not body.endswith(CRLF):
+        body += CRLF
+    lines = body.split(CRLF)
+    stuffed = [b"." + line if line.startswith(b".") else line
+               for line in lines]
+    return CRLF.join(stuffed)
+
+
+class ClientSession:
+    """Drives delivery of ``mails`` over one SMTP connection.
+
+    Parameters
+    ----------
+    mails:
+        The mails to deliver in order.  May be empty together with
+        ``quit_after_helo`` to model an unfinished SMTP transaction.
+    helo:
+        The EHLO argument.
+    quit_after_helo:
+        If true, the session sends QUIT right after the EHLO reply and
+        delivers nothing (the paper's "unfinished SMTP transaction").
+    """
+
+    def __init__(self, mails: Sequence[OutgoingMail],
+                 helo: str = "client.example",
+                 quit_after_helo: bool = False):
+        if not mails and not quit_after_helo:
+            raise ValueError("no mails and not an unfinished session")
+        self.helo = helo
+        self.quit_after_helo = quit_after_helo
+        self.results = [MailResult(m) for m in mails]
+        self.state = ClientState.WAIT_BANNER
+        self._mail_index = 0
+        self._rcpt_index = 0
+        self._buffer = bytearray()
+        self._reply_lines: list[tuple[int, str]] = []
+
+    # -- public API --------------------------------------------------------
+    @property
+    def done(self) -> bool:
+        return self.state in (ClientState.DONE, ClientState.FAILED)
+
+    @property
+    def succeeded(self) -> bool:
+        return self.state is ClientState.DONE
+
+    def receive_data(self, data: bytes) -> bytes:
+        """Feed server bytes; returns the bytes to write back."""
+        self._buffer += data
+        out = bytearray()
+        while True:
+            reply = self._take_reply()
+            if reply is None:
+                break
+            out += self._on_reply(*reply)
+            if self.done:
+                break
+        return bytes(out)
+
+    def connection_lost(self) -> None:
+        if not self.done:
+            self.state = ClientState.FAILED
+
+    # -- reply framing -------------------------------------------------------
+    def _take_reply(self) -> Optional[tuple[int, str]]:
+        """Assemble one complete (possibly multi-line) reply."""
+        while True:
+            idx = self._buffer.find(b"\n")
+            if idx < 0:
+                return None
+            line = bytes(self._buffer[:idx + 1])
+            del self._buffer[:idx + 1]
+            code, is_last, text = parse_reply_line(line)
+            self._reply_lines.append((code, text))
+            if is_last:
+                lines = self._reply_lines
+                self._reply_lines = []
+                if any(c != code for c, _ in lines):
+                    raise ProtocolError("inconsistent codes in multi-line reply")
+                return code, lines[-1][1]
+
+    # -- state machine -------------------------------------------------------
+    def _on_reply(self, code: int, text: str) -> bytes:
+        handler = getattr(self, f"_st_{self.state.value}")
+        return handler(code, text)
+
+    def _fail(self) -> bytes:
+        self.state = ClientState.FAILED
+        return b""
+
+    def _st_wait_banner(self, code: int, text: str) -> bytes:
+        if code != 220:
+            return self._fail()
+        self.state = ClientState.WAIT_EHLO
+        return f"EHLO {self.helo}\r\n".encode()
+
+    def _st_wait_ehlo(self, code: int, text: str) -> bytes:
+        if code != 250:
+            return self._fail()
+        if self.quit_after_helo and not self.results:
+            self.state = ClientState.WAIT_QUIT
+            return b"QUIT\r\n"
+        return self._start_mail()
+
+    def _start_mail(self) -> bytes:
+        result = self.results[self._mail_index]
+        self._rcpt_index = 0
+        self.state = ClientState.WAIT_MAIL
+        return f"MAIL FROM:<{result.mail.sender}>\r\n".encode()
+
+    def _st_wait_mail(self, code: int, text: str) -> bytes:
+        if code != 250:
+            return self._advance_mail(delivered=False, reply=f"{code} {text}")
+        self.state = ClientState.WAIT_RCPT
+        return self._send_next_rcpt()
+
+    def _send_next_rcpt(self) -> bytes:
+        result = self.results[self._mail_index]
+        rcpt = result.mail.recipients[self._rcpt_index]
+        return f"RCPT TO:<{rcpt}>\r\n".encode()
+
+    def _st_wait_rcpt(self, code: int, text: str) -> bytes:
+        result = self.results[self._mail_index]
+        rcpt = result.mail.recipients[self._rcpt_index]
+        if code == 250:
+            result.accepted_recipients.append(rcpt)
+        else:
+            result.rejected_recipients.append(rcpt)
+        self._rcpt_index += 1
+        if self._rcpt_index < len(result.mail.recipients):
+            return self._send_next_rcpt()
+        if not result.accepted_recipients:
+            # every recipient bounced: skip DATA (this is a bounce session
+            # unless a later mail succeeds); the envelope stays open on the
+            # server side and needs an RSET before any next mail
+            return self._advance_mail(delivered=False,
+                                      reply="all recipients rejected",
+                                      envelope_open=True)
+        self.state = ClientState.WAIT_DATA_GO
+        return b"DATA\r\n"
+
+    def _st_wait_data_go(self, code: int, text: str) -> bytes:
+        result = self.results[self._mail_index]
+        if code != 354:
+            return self._advance_mail(delivered=False, reply=f"{code} {text}",
+                                      envelope_open=True)
+        self.state = ClientState.WAIT_DATA_ACK
+        return dot_stuff(result.mail.body) + b"." + CRLF
+
+    def _st_wait_data_ack(self, code: int, text: str) -> bytes:
+        return self._advance_mail(delivered=(code == 250),
+                                  reply=f"{code} {text}")
+
+    def _advance_mail(self, delivered: bool, reply: str,
+                      envelope_open: bool = False) -> bytes:
+        result = self.results[self._mail_index]
+        result.delivered = delivered
+        result.reply = reply
+        self._mail_index += 1
+        if self._mail_index < len(self.results):
+            if envelope_open:
+                # the previous MAIL FROM is still pending on the server
+                # (no DATA completed it); clear it before the next mail
+                self.state = ClientState.WAIT_RSET
+                return b"RSET\r\n"
+            return self._start_mail()
+        self.state = ClientState.WAIT_QUIT
+        return b"QUIT\r\n"
+
+    def _st_wait_rset(self, code: int, text: str) -> bytes:
+        if code != 250:
+            return self._fail()
+        return self._start_mail()
+
+    def _st_wait_quit(self, code: int, text: str) -> bytes:
+        self.state = ClientState.DONE
+        return b""
+
+    def _st_done(self, code: int, text: str) -> bytes:  # pragma: no cover
+        return b""
+
+    def _st_failed(self, code: int, text: str) -> bytes:  # pragma: no cover
+        return b""

@@ -1,0 +1,122 @@
+"""SMTP command parsing.
+
+Commands arrive as single CRLF-terminated lines.  :func:`parse_command_line`
+turns one into a :class:`Command`; malformed input raises
+:class:`~repro.errors.ProtocolError` with a message suitable for a 500-class
+reply.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional
+
+from ..errors import ProtocolError
+from .address import Address, parse_path
+from .constants import MAX_LINE_LENGTH
+
+__all__ = ["Verb", "Command", "parse_command_line"]
+
+
+class Verb(Enum):
+    HELO = "HELO"
+    EHLO = "EHLO"
+    MAIL = "MAIL"
+    RCPT = "RCPT"
+    DATA = "DATA"
+    RSET = "RSET"
+    NOOP = "NOOP"
+    QUIT = "QUIT"
+    VRFY = "VRFY"
+    HELP = "HELP"
+
+
+@dataclass(frozen=True)
+class Command:
+    """A parsed SMTP command.
+
+    ``address`` is set for MAIL (the reverse path; ``None`` for ``<>``),
+    RCPT (the forward path) and VRFY.  ``argument`` keeps the raw argument
+    text for HELO/EHLO/NOOP/HELP.
+    """
+
+    verb: Verb
+    argument: str = ""
+    address: Optional[Address] = None
+    params: tuple[str, ...] = field(default=())
+
+    def __str__(self) -> str:
+        return f"{self.verb.value} {self.argument}".strip()
+
+
+def _split_verb(line: str) -> tuple[str, str]:
+    head, _, rest = line.partition(" ")
+    return head.upper(), rest.strip()
+
+
+def parse_command_line(raw: bytes) -> Command:
+    """Parse one command line (with or without trailing CRLF).
+
+    >>> parse_command_line(b"MAIL FROM:<a@b.com>\\r\\n").verb
+    <Verb.MAIL: 'MAIL'>
+    >>> parse_command_line(b"rcpt to:<x@y.org> NOTIFY=NEVER").address
+    Address(local='x', domain='y.org')
+    """
+    if len(raw) > MAX_LINE_LENGTH:
+        raise ProtocolError(f"command line too long ({len(raw)} bytes)")
+    try:
+        line = raw.rstrip(b"\r\n").decode("ascii")
+    except UnicodeDecodeError as exc:
+        raise ProtocolError("command line is not ASCII") from exc
+    if not line:
+        raise ProtocolError("empty command line")
+    head, rest = _split_verb(line)
+    try:
+        verb = Verb(head)
+    except ValueError as exc:
+        raise ProtocolError(f"unknown command {head!r}") from exc
+
+    if verb in (Verb.HELO, Verb.EHLO):
+        if not rest:
+            raise ProtocolError(f"{verb.value} requires a domain argument")
+        return Command(verb, argument=rest)
+
+    if verb is Verb.MAIL:
+        return _parse_pathed(verb, rest, keyword="FROM", allow_empty=True)
+
+    if verb is Verb.RCPT:
+        return _parse_pathed(verb, rest, keyword="TO", allow_empty=False)
+
+    if verb is Verb.VRFY:
+        if not rest:
+            raise ProtocolError("VRFY requires an address argument")
+        address = parse_path(rest, allow_empty=False)
+        return Command(verb, argument=rest, address=address)
+
+    if verb in (Verb.DATA, Verb.RSET, Verb.QUIT):
+        if rest:
+            raise ProtocolError(f"{verb.value} takes no argument")
+        return Command(verb)
+
+    # NOOP and HELP accept and ignore any argument.
+    return Command(verb, argument=rest)
+
+
+def _parse_pathed(verb: Verb, rest: str, keyword: str,
+                  allow_empty: bool) -> Command:
+    """Parse ``MAIL FROM:<path> [params]`` / ``RCPT TO:<path> [params]``."""
+    prefix = keyword + ":"
+    if not rest.upper().startswith(prefix):
+        raise ProtocolError(f"{verb.value} requires '{keyword}:<address>'")
+    rest = rest[len(prefix):].lstrip()
+    # ESMTP parameters (e.g. SIZE=1234, BODY=8BITMIME) follow the path,
+    # separated by spaces.  We accept and record them without acting on them.
+    path_text, *params = rest.split()
+    if not path_text:
+        raise ProtocolError(f"{verb.value} is missing the address path")
+    for param in params:
+        if "=" not in param and param.upper() not in ("BODY",):
+            raise ProtocolError(f"malformed ESMTP parameter {param!r}")
+    address = parse_path(path_text, allow_empty=allow_empty)
+    return Command(verb, argument=rest, address=address, params=tuple(params))

@@ -1,0 +1,87 @@
+"""SMTP protocol constants (RFC 821/2821 subset used by the reproduction)."""
+
+from __future__ import annotations
+
+from enum import Enum
+
+__all__ = [
+    "CRLF", "DOT_TERMINATOR", "MAX_LINE_LENGTH", "MAX_RECIPIENTS",
+    "DEFAULT_SMTP_PORT", "ReplyCode", "SessionState", "SessionOutcome",
+]
+
+#: Line terminator mandated by RFC 821.
+CRLF = b"\r\n"
+
+#: End-of-data marker for the DATA phase.
+DOT_TERMINATOR = b"." + CRLF
+
+#: RFC 2821 §4.5.3.1: command lines are at most 512 octets; we enforce a bound
+#: to make the master-process event loop safe against oversized lines (the
+#: paper's §5.2 security argument rests on the fixed-size receive buffer).
+MAX_LINE_LENGTH = 512
+
+#: Postfix's default ``smtpd_recipient_limit`` is 1000; we keep a smaller
+#: default because the paper's traces top out around 20 recipients.
+MAX_RECIPIENTS = 1000
+
+DEFAULT_SMTP_PORT = 8025
+
+
+class ReplyCode(int, Enum):
+    """The SMTP reply codes used by the server and understood by the client."""
+
+    SERVICE_READY = 220
+    CLOSING = 221
+    OK = 250
+    WILL_FORWARD = 251
+    START_MAIL_INPUT = 354
+    SERVICE_UNAVAILABLE = 421
+    MAILBOX_BUSY = 450
+    LOCAL_ERROR = 451
+    INSUFFICIENT_STORAGE = 452
+    SYNTAX_ERROR = 500
+    PARAM_SYNTAX_ERROR = 501
+    NOT_IMPLEMENTED = 502
+    BAD_SEQUENCE = 503
+    MAILBOX_UNAVAILABLE = 550  # "550 User unknown": the bounce reply (§4.1)
+    EXCEEDED_STORAGE = 552
+    MAILBOX_NAME_INVALID = 553
+    TRANSACTION_FAILED = 554
+
+    @property
+    def is_positive(self) -> bool:
+        return 200 <= self.value < 400
+
+    @property
+    def is_transient_failure(self) -> bool:
+        return 400 <= self.value < 500
+
+    @property
+    def is_permanent_failure(self) -> bool:
+        return self.value >= 500
+
+
+class SessionState(Enum):
+    """Server-side SMTP session states.
+
+    The fork-after-trust boundary (paper Fig. 7) is between ``ENVELOPE``
+    states (handled in the master's event loop) and ``DATA`` (handled by a
+    delegated smtpd worker).
+    """
+
+    CONNECTED = "connected"       # banner sent, waiting for HELO/EHLO
+    GREETED = "greeted"           # HELO/EHLO done, waiting for MAIL
+    MAIL = "mail"                 # MAIL FROM accepted, collecting RCPTs
+    RCPT = "rcpt"                 # >= 1 valid recipient accepted
+    DATA = "data"                 # inside DATA, collecting message body
+    QUIT = "quit"                 # session closed by QUIT
+    ABORTED = "aborted"           # connection dropped / fatal error
+
+
+class SessionOutcome(Enum):
+    """Classification of a finished session, matching the paper's taxonomy."""
+
+    DELIVERED = "delivered"          # >= 1 mail accepted
+    BOUNCE = "bounce"                # only invalid recipients ("550")
+    UNFINISHED = "unfinished"        # client quit/dropped before any mail
+    REJECTED_BLACKLIST = "rejected"  # refused at connect via DNSBL

@@ -1,0 +1,317 @@
+"""Sans-IO SMTP server session state machine.
+
+:class:`ServerSession` consumes raw bytes from a transport and produces a
+list of :class:`Action` objects — replies to send, accepted mails, the
+*trust-established* signal, and session termination.  Keeping the protocol
+logic transport-free lets the same engine drive:
+
+* the real asyncio server in :mod:`repro.net.server`, and
+* protocol-level unit and property tests without sockets.
+
+The *trust boundary* of the paper's fork-after-trust architecture (§5) is
+surfaced as the :class:`TrustEstablished` action, emitted exactly once per
+session when the first valid ``RCPT TO`` is accepted.  A master event loop
+runs the session up to that action and then hands the connection (and this
+very object — it is picklable state, not a socket) to a worker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Union
+
+from ..errors import ProtocolError
+from .address import Address
+from .commands import Command, parse_command_line
+from .constants import (CRLF, MAX_LINE_LENGTH, ReplyCode, SessionOutcome,
+                        SessionState)
+from .message import MailIdGenerator, MailMessage
+from .replies import Reply, STANDARD
+
+__all__ = [
+    "Action", "SendReply", "AcceptedMail", "TrustEstablished", "CloseSession",
+    "ServerSession", "RecipientValidator",
+]
+
+
+@dataclass(frozen=True)
+class SendReply:
+    """Write ``reply.encode()`` to the client."""
+    reply: Reply
+
+
+@dataclass(frozen=True)
+class AcceptedMail:
+    """A complete mail was received; hand it to the delivery pipeline."""
+    message: MailMessage
+
+
+@dataclass(frozen=True)
+class TrustEstablished:
+    """First valid recipient confirmed — the fork-after-trust handoff point."""
+    recipient: Address
+
+
+@dataclass(frozen=True)
+class CloseSession:
+    """Close the transport after flushing; ``outcome`` classifies the session."""
+    outcome: SessionOutcome
+
+
+Action = Union[SendReply, AcceptedMail, TrustEstablished, CloseSession]
+
+#: Decides whether a recipient mailbox exists locally.  This is the paper's
+#: "local access database" lookup that distinguishes bounces.
+RecipientValidator = Callable[[Address], bool]
+
+
+@dataclass
+class _Envelope:
+    sender: Optional[Address] = None
+    sender_set: bool = False
+    recipients: list[Address] = field(default_factory=list)
+    rejected_rcpts: int = 0
+
+    def reset(self) -> None:
+        self.sender = None
+        self.sender_set = False
+        self.recipients = []
+        # rejected_rcpts intentionally survives RSET: it feeds the session's
+        # bounce classification.
+
+
+class ServerSession:
+    """One SMTP server-side session as a sans-IO state machine.
+
+    Parameters
+    ----------
+    hostname:
+        Name announced in the banner and HELO replies.
+    validator:
+        Callable deciding whether a recipient exists; invalid recipients get
+        the "550 User unknown" bounce reply (§4.1).
+    mail_ids:
+        Generator of server-assigned mail ids (shared across sessions of one
+        server so ids stay globally unique).
+    client_ip:
+        Recorded into accepted messages; also used by DNSBL policy callers.
+    max_recipients / max_message_bytes:
+        Hard resource bounds; exceeding them yields 452/552 replies.
+    clock:
+        Returns the current (real or simulated) time for ``received_at``.
+    """
+
+    def __init__(self, hostname: str, validator: RecipientValidator,
+                 mail_ids: Optional[MailIdGenerator] = None,
+                 client_ip: str = "", max_recipients: int = 1000,
+                 max_message_bytes: int = 10 * 1024 * 1024,
+                 clock: Callable[[], float] = lambda: 0.0):
+        self.hostname = hostname
+        self.validator = validator
+        self.mail_ids = mail_ids or MailIdGenerator()
+        self.client_ip = client_ip
+        self.max_recipients = max_recipients
+        self.max_message_bytes = max_message_bytes
+        self.clock = clock
+
+        self.state = SessionState.CONNECTED
+        self.helo: str = ""
+        self.envelope = _Envelope()
+        self.delivered_count = 0
+        self.trust_established = False
+        self._buffer = bytearray()
+        self._data_lines: list[bytes] = []
+        self._data_size = 0
+        self._closed = False
+
+    # -- public API -----------------------------------------------------------
+    def banner(self) -> list[Action]:
+        """Actions to perform when the connection opens."""
+        return [SendReply(STANDARD.banner(self.hostname))]
+
+    def reject_blacklisted(self) -> list[Action]:
+        """Refuse service to a blacklisted client (DNSBL policy, §4.3)."""
+        self._closed = True
+        self.state = SessionState.ABORTED
+        return [SendReply(STANDARD.blacklisted),
+                CloseSession(SessionOutcome.REJECTED_BLACKLIST)]
+
+    def receive_data(self, data: bytes) -> list[Action]:
+        """Feed raw bytes from the transport; returns resulting actions."""
+        if self._closed:
+            return []
+        self._buffer += data
+        actions: list[Action] = []
+        while not self._closed:
+            line = self._take_line()
+            if line is None:
+                break
+            if self.state is SessionState.DATA:
+                actions.extend(self._handle_data_line(line))
+            else:
+                actions.extend(self._handle_command_line(line))
+        return actions
+
+    def connection_lost(self) -> list[Action]:
+        """Client dropped the connection; classify the session."""
+        if self._closed:
+            return []
+        self._closed = True
+        self.state = SessionState.ABORTED
+        return [CloseSession(self.outcome())]
+
+    def outcome(self) -> SessionOutcome:
+        """Classify this session per the paper's taxonomy (§4.1)."""
+        if self.delivered_count > 0:
+            return SessionOutcome.DELIVERED
+        if self.envelope.rejected_rcpts > 0:
+            return SessionOutcome.BOUNCE
+        return SessionOutcome.UNFINISHED
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    # -- line framing ---------------------------------------------------------
+    def _take_line(self) -> Optional[bytes]:
+        idx = self._buffer.find(b"\n")
+        if idx < 0:
+            # A line longer than the fixed-size receive buffer is a protocol
+            # violation; surfacing it here keeps the master's event loop safe
+            # from unbounded buffering (§5.2).
+            if len(self._buffer) > MAX_LINE_LENGTH \
+                    and self.state is not SessionState.DATA:
+                oversized = bytes(self._buffer)
+                self._buffer.clear()
+                return oversized
+            return None
+        line = bytes(self._buffer[:idx + 1])
+        del self._buffer[:idx + 1]
+        return line
+
+    # -- command handling -------------------------------------------------------
+    def _handle_command_line(self, line: bytes) -> list[Action]:
+        if len(line) > MAX_LINE_LENGTH:
+            return [SendReply(STANDARD.line_too_long)]
+        try:
+            command = parse_command_line(line)
+        except ProtocolError as exc:
+            return [SendReply(Reply(ReplyCode.SYNTAX_ERROR, f"5.5.2 {exc}"))]
+        handler = getattr(self, f"_do_{command.verb.value.lower()}")
+        return handler(command)
+
+    def _do_helo(self, command: Command) -> list[Action]:
+        self.helo = command.argument
+        self._reset_envelope()
+        self.state = SessionState.GREETED
+        return [SendReply(STANDARD.helo_ok(self.hostname, command.argument))]
+
+    def _do_ehlo(self, command: Command) -> list[Action]:
+        self.helo = command.argument
+        self._reset_envelope()
+        self.state = SessionState.GREETED
+        return [SendReply(STANDARD.ehlo_ok(self.hostname, command.argument))]
+
+    def _do_mail(self, command: Command) -> list[Action]:
+        if self.state is SessionState.CONNECTED:
+            return [SendReply(STANDARD.bad_sequence)]
+        if self.envelope.sender_set:
+            return [SendReply(STANDARD.bad_sequence)]
+        self.envelope.sender = command.address
+        self.envelope.sender_set = True
+        self.state = SessionState.MAIL
+        return [SendReply(STANDARD.mail_ok)]
+
+    def _do_rcpt(self, command: Command) -> list[Action]:
+        if not self.envelope.sender_set:
+            return [SendReply(STANDARD.need_mail_first)]
+        if len(self.envelope.recipients) >= self.max_recipients:
+            return [SendReply(STANDARD.too_many_rcpts)]
+        recipient = command.address
+        assert recipient is not None  # RCPT disallows the null path
+        if not self.validator(recipient):
+            self.envelope.rejected_rcpts += 1
+            return [SendReply(STANDARD.user_unknown)]
+        self.envelope.recipients.append(recipient)
+        actions: list[Action] = []
+        if not self.trust_established:
+            self.trust_established = True
+            actions.append(TrustEstablished(recipient))
+        self.state = SessionState.RCPT
+        actions.append(SendReply(STANDARD.rcpt_ok))
+        return actions
+
+    def _do_data(self, command: Command) -> list[Action]:
+        if not self.envelope.sender_set:
+            return [SendReply(STANDARD.need_mail_first)]
+        if not self.envelope.recipients:
+            return [SendReply(STANDARD.need_rcpt_first)]
+        self.state = SessionState.DATA
+        self._data_lines = []
+        self._data_size = 0
+        return [SendReply(STANDARD.data_go_ahead)]
+
+    def _do_rset(self, command: Command) -> list[Action]:
+        self._reset_envelope()
+        if self.state is not SessionState.CONNECTED:
+            self.state = SessionState.GREETED
+        return [SendReply(STANDARD.ok)]
+
+    def _do_noop(self, command: Command) -> list[Action]:
+        return [SendReply(STANDARD.ok)]
+
+    def _do_help(self, command: Command) -> list[Action]:
+        return [SendReply(Reply(
+            ReplyCode.OK, "Commands: HELO EHLO MAIL RCPT DATA RSET NOOP QUIT VRFY"))]
+
+    def _do_vrfy(self, command: Command) -> list[Action]:
+        assert command.address is not None
+        if self.validator(command.address):
+            return [SendReply(Reply(ReplyCode.OK, f"2.1.5 <{command.address}>"))]
+        return [SendReply(STANDARD.user_unknown)]
+
+    def _do_quit(self, command: Command) -> list[Action]:
+        self._closed = True
+        self.state = SessionState.QUIT
+        return [SendReply(STANDARD.bye), CloseSession(self.outcome())]
+
+    # -- DATA phase -------------------------------------------------------------
+    def _handle_data_line(self, line: bytes) -> list[Action]:
+        stripped = line.rstrip(b"\r\n")
+        if stripped == b".":
+            return self._finish_data()
+        if stripped.startswith(b".."):
+            # reverse dot-stuffing (RFC 2821 §4.5.2)
+            stripped = stripped[1:]
+        elif stripped.startswith(b".") and len(stripped) > 1:
+            stripped = stripped[1:]
+        self._data_size += len(stripped) + 2
+        if self._data_size <= self.max_message_bytes:
+            self._data_lines.append(stripped)
+        # past the limit: keep consuming but stop buffering; reject at the dot
+        return []
+
+    def _finish_data(self) -> list[Action]:
+        self.state = SessionState.GREETED
+        if self._data_size > self.max_message_bytes:
+            self._reset_envelope()
+            return [SendReply(Reply(ReplyCode.EXCEEDED_STORAGE,
+                                    "5.3.4 Message too big"))]
+        body = CRLF.join(self._data_lines) + (CRLF if self._data_lines else b"")
+        message = MailMessage(
+            mail_id=self.mail_ids.next_id(),
+            sender=self.envelope.sender,
+            recipients=list(self.envelope.recipients),
+            body=bytes(body),
+            client_ip=self.client_ip,
+            helo=self.helo,
+            received_at=self.clock(),
+        ).with_received_header(self.hostname)
+        self.delivered_count += 1
+        self._reset_envelope()
+        return [AcceptedMail(message), SendReply(STANDARD.queued(message.mail_id))]
+
+    def _reset_envelope(self) -> None:
+        self.envelope.reset()
+        self._data_lines = []
+        self._data_size = 0

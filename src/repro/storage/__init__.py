@@ -1,0 +1,21 @@
+"""Mailbox storage backends and filesystem cost models (Figs. 10/11)."""
+
+from ..mfs.store import MfsStore
+from .base import MailboxStore, StoredMail
+from .diskmodel import EXT3, REISER, MODELS, FsCostModel, IoKind, IoOp
+from .maildir import HardlinkStore, MaildirStore
+from .mbox import MboxStore
+
+#: The four contenders of §6.3, by experiment-table name.
+BACKENDS = {
+    "mbox": MboxStore,
+    "maildir": MaildirStore,
+    "hardlink": HardlinkStore,
+    "mfs": MfsStore,
+}
+
+__all__ = [
+    "MailboxStore", "StoredMail",
+    "EXT3", "REISER", "MODELS", "FsCostModel", "IoKind", "IoOp",
+    "HardlinkStore", "MaildirStore", "MboxStore", "MfsStore", "BACKENDS",
+]

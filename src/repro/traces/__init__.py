@@ -1,0 +1,33 @@
+"""Workload models: trace records and the paper's trace generators.
+
+* :mod:`~repro.traces.record` — connection/mail records, trace statistics.
+* :mod:`~repro.traces.sinkhole` — the two-month spam sinkhole trace.
+* :mod:`~repro.traces.univ` — the university department trace.
+* :mod:`~repro.traces.ecn` — the ECN daily bounce-ratio series (Fig. 3).
+* :mod:`~repro.traces.botnet` — spatial locality of spam origins (Fig. 12).
+* :mod:`~repro.traces.synthetic` — parameterised traces for Figs. 8/10/11.
+* :mod:`~repro.traces.io` — JSONL trace files.
+"""
+
+from .botnet import BotnetModel, BotnetPrefix
+from .ecn import EcnBounceSeries, EcnDay
+from .io import load_trace, save_trace
+from .record import (Connection, MailAttempt, RecipientAttempt, Trace,
+                     TraceStats, interarrival_cdfs, prefix24, prefix25)
+from .sinkhole import RcptModel, SinkholeConfig, SinkholeTraceGenerator
+from .sizes import SPAM_SIZES, UNIV_SIZES, SizeModel
+from .synthetic import (bounce_sweep_trace, recipient_sequence_trace,
+                        with_bounces)
+from .univ import UnivConfig, UnivTraceGenerator
+
+__all__ = [
+    "BotnetModel", "BotnetPrefix",
+    "EcnBounceSeries", "EcnDay",
+    "load_trace", "save_trace",
+    "Connection", "MailAttempt", "RecipientAttempt", "Trace", "TraceStats",
+    "interarrival_cdfs", "prefix24", "prefix25",
+    "RcptModel", "SinkholeConfig", "SinkholeTraceGenerator",
+    "SPAM_SIZES", "UNIV_SIZES", "SizeModel",
+    "bounce_sweep_trace", "recipient_sequence_trace", "with_bounces",
+    "UnivConfig", "UnivTraceGenerator",
+]

@@ -1,0 +1,87 @@
+"""Trace serialisation: JSON-lines save/load.
+
+One JSON object per connection; a leading header object carries trace
+metadata.  The format is stable and diff-friendly so generated traces can be
+checked in or shared between the simulator and the asyncio load generators.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from ..errors import TraceError
+from .record import Connection, MailAttempt, RecipientAttempt, Trace
+
+__all__ = ["save_trace", "load_trace"]
+
+_FORMAT = "repro-trace-v1"
+
+
+def _connection_to_obj(conn: Connection) -> dict:
+    return {
+        "t": conn.t,
+        "ip": conn.client_ip,
+        "helo": conn.helo,
+        "unfinished": conn.unfinished,
+        "mails": [
+            {
+                "size": m.size,
+                "spam": m.is_spam,
+                "rcpts": [[r.mailbox, r.valid] for r in m.recipients],
+            }
+            for m in conn.mails
+        ],
+    }
+
+
+def _connection_from_obj(obj: dict) -> Connection:
+    try:
+        mails = [
+            MailAttempt(
+                size=m["size"],
+                recipients=[RecipientAttempt(mb, bool(valid))
+                            for mb, valid in m["rcpts"]],
+                is_spam=bool(m["spam"]),
+            )
+            for m in obj["mails"]
+        ]
+        return Connection(t=float(obj["t"]), client_ip=obj["ip"],
+                          mails=mails, unfinished=bool(obj["unfinished"]),
+                          helo=obj.get("helo", "client.example"))
+    except (KeyError, TypeError, ValueError) as exc:
+        raise TraceError(f"malformed trace record: {obj!r}") from exc
+
+
+def save_trace(trace: Trace, path: Union[str, Path]) -> None:
+    """Write ``trace`` to ``path`` as JSONL with a metadata header."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as fh:
+        header = {"format": _FORMAT, "name": trace.name,
+                  "duration": trace.duration, "connections": len(trace)}
+        fh.write(json.dumps(header) + "\n")
+        for conn in trace:
+            fh.write(json.dumps(_connection_to_obj(conn),
+                                separators=(",", ":")) + "\n")
+
+
+def load_trace(path: Union[str, Path]) -> Trace:
+    """Read a trace written by :func:`save_trace`."""
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as fh:
+        header_line = fh.readline()
+        if not header_line:
+            raise TraceError(f"empty trace file: {path}")
+        header = json.loads(header_line)
+        if header.get("format") != _FORMAT:
+            raise TraceError(
+                f"unsupported trace format {header.get('format')!r} in {path}")
+        connections = [_connection_from_obj(json.loads(line))
+                       for line in fh if line.strip()]
+    if len(connections) != header.get("connections", len(connections)):
+        raise TraceError(
+            f"trace file {path} is truncated: header says "
+            f"{header['connections']}, found {len(connections)}")
+    return Trace(connections, name=header.get("name", path.stem),
+                 duration=header.get("duration"))

@@ -1,0 +1,35 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.smtp.address import Address
+from repro.smtp.message import MailIdGenerator, MailMessage
+
+
+@pytest.fixture
+def mail_ids():
+    """Deterministic mail-id generator."""
+    return MailIdGenerator(secret=b"test-secret")
+
+
+@pytest.fixture
+def make_message(mail_ids):
+    """Factory for MailMessage objects."""
+
+    def factory(recipients=("a@dest.example",), body=b"hello\r\n",
+                sender="s@src.example"):
+        return MailMessage(
+            mail_id=mail_ids.next_id(),
+            sender=Address.parse(sender) if sender else None,
+            recipients=[Address.parse(r) for r in recipients],
+            body=body)
+
+    return factory
+
+
+@pytest.fixture
+def sim():
+    from repro.sim import Simulator
+    return Simulator()

@@ -1,0 +1,301 @@
+"""Tests for the DNSBL substrate: wire format, bitmaps, zone, server,
+cache, resolvers and latency models."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dnsbl import (DnsMessage, DnsblBank, DnsblResolver, DnsblServer,
+                         DnsblZone, IpStrategy, ListingCode, PROVIDERS,
+                         PrefixStrategy, QTYPE_A, QTYPE_AAAA,
+                         RCODE_NXDOMAIN, RCODE_NOERROR, Question,
+                         ResourceRecord, TtlCache, bitmap_bit_for_ip,
+                         bitmap_from_ipv6_bytes, bitmap_set, bitmap_test,
+                         bitmap_to_ipv6_bytes, decode_name, encode_name,
+                         hosts_in_bitmap, ip_query_name,
+                         parse_ip_query_name, parse_prefix_query_name,
+                         parallel_lookup, prefix_query_name)
+from repro.errors import DnsError
+from repro.sim.random import RngStream
+
+
+class TestWireFormat:
+    def test_name_roundtrip(self):
+        wire = encode_name("4.3.2.1.bl.example")
+        name, offset = decode_name(wire, 0)
+        assert name == "4.3.2.1.bl.example"
+        assert offset == len(wire)
+
+    def test_root_name(self):
+        assert encode_name("") == b"\x00"
+        assert decode_name(b"\x00", 0) == ("", 1)
+
+    def test_compression_pointer_followed(self):
+        # "a.b" at offset 0, then a name that is a pointer to offset 0
+        base = encode_name("a.b")
+        wire = base + b"\xc0\x00"
+        name, offset = decode_name(wire, len(base))
+        assert name == "a.b"
+        assert offset == len(base) + 2
+
+    def test_self_pointer_rejected(self):
+        # a pointer must point strictly backwards; a self/forward pointer
+        # (the only way to build a loop) is rejected
+        with pytest.raises(DnsError):
+            decode_name(b"\xc0\x00", 0)
+
+    def test_overlong_label_rejected(self):
+        with pytest.raises(DnsError):
+            encode_name("a" * 64 + ".example")
+
+    def test_message_roundtrip(self):
+        query = DnsMessage.query("4.3.2.1.bl.example", QTYPE_A, txid=777)
+        answer = ResourceRecord("4.3.2.1.bl.example", QTYPE_A, 3600,
+                                bytes([127, 0, 0, 2]))
+        response = query.response(answers=[answer])
+        decoded = DnsMessage.decode(response.encode())
+        assert decoded.txid == 777
+        assert decoded.is_response
+        assert decoded.rcode == RCODE_NOERROR
+        assert decoded.questions == [Question("4.3.2.1.bl.example", QTYPE_A)]
+        assert decoded.answers[0].a_address == "127.0.0.2"
+
+    def test_short_message_rejected(self):
+        with pytest.raises(DnsError):
+            DnsMessage.decode(b"tooshort")
+
+    @given(st.lists(st.text(
+        alphabet=st.sampled_from("abcdefghijklmnopqrstuvwxyz0123456789-"),
+        min_size=1, max_size=12), min_size=1, max_size=6))
+    @settings(max_examples=100, deadline=None)
+    def test_name_roundtrip_property(self, labels):
+        name = ".".join(labels)
+        decoded, _ = decode_name(encode_name(name), 0)
+        assert decoded == name
+
+
+class TestBitmap:
+    def test_query_names(self):
+        assert ip_query_name("1.2.3.4", "bl.x") == "4.3.2.1.bl.x"
+        assert prefix_query_name("1.2.3.4", "bl.x") == "0.3.2.1.bl.x"
+        assert prefix_query_name("1.2.3.200", "bl.x") == "1.3.2.1.bl.x"
+
+    def test_parse_inverses(self):
+        assert parse_ip_query_name("4.3.2.1.bl.x", "bl.x") == "1.2.3.4"
+        assert parse_prefix_query_name("1.3.2.1.bl.x", "bl.x") == ("1.2.3", 1)
+        with pytest.raises(DnsError):
+            parse_ip_query_name("4.3.2.1.other.zone", "bl.x")
+        with pytest.raises(DnsError):
+            parse_prefix_query_name("2.3.2.1.bl.x", "bl.x")
+
+    def test_bit_positions(self):
+        assert bitmap_bit_for_ip("1.2.3.0") == 0
+        assert bitmap_bit_for_ip("1.2.3.127") == 127
+        assert bitmap_bit_for_ip("1.2.3.128") == 0
+        assert bitmap_bit_for_ip("1.2.3.255") == 127
+
+    def test_ipv6_packing_roundtrip(self):
+        bitmap = bitmap_set(bitmap_set(0, 0), 127)
+        packed = bitmap_to_ipv6_bytes(bitmap)
+        assert len(packed) == 16
+        assert bitmap_from_ipv6_bytes(packed) == bitmap
+
+    def test_hosts_in_bitmap(self):
+        bitmap = bitmap_set(bitmap_set(0, 5), 100)
+        assert hosts_in_bitmap(bitmap, "9.8.7", 0) == ["9.8.7.5", "9.8.7.100"]
+        assert hosts_in_bitmap(bitmap, "9.8.7", 1) == ["9.8.7.133",
+                                                       "9.8.7.228"]
+
+    @given(st.sets(st.integers(min_value=0, max_value=127), max_size=20))
+    @settings(max_examples=100, deadline=None)
+    def test_set_bits_recoverable_property(self, bits):
+        bitmap = 0
+        for bit in bits:
+            bitmap = bitmap_set(bitmap, bit)
+        assert {b for b in range(128) if bitmap_test(bitmap, b)} == bits
+
+    def test_invalid_ip_rejected(self):
+        with pytest.raises(DnsError):
+            ip_query_name("300.1.1.1", "bl.x")
+
+
+class TestZoneAndServer:
+    def test_zone_membership_and_codes(self):
+        zone = DnsblZone("bl.x", ["1.2.3.4"])
+        zone.add("5.6.7.8", code=ListingCode.SPAM_SOURCE)
+        assert "1.2.3.4" in zone and len(zone) == 2
+        assert zone.lookup_ip("5.6.7.8") == ListingCode.SPAM_SOURCE
+        assert zone.lookup_ip("9.9.9.9") is None
+
+    def test_zone_remove_updates_bitmap(self):
+        zone = DnsblZone("bl.x", ["1.2.3.4", "1.2.3.5"])
+        zone.remove("1.2.3.4")
+        bitmap = zone.lookup_bitmap("1.2.3", 0)
+        assert not bitmap_test(bitmap, 4)
+        assert bitmap_test(bitmap, 5)
+        zone.remove("1.2.3.5")
+        assert zone.lookup_bitmap("1.2.3", 0) == 0
+
+    def test_server_answers_ip_queries(self):
+        server = DnsblServer(DnsblZone("bl.x", ["1.2.3.4"]))
+        hit = server.handle_message(
+            DnsMessage.query("4.3.2.1.bl.x", QTYPE_A))
+        assert hit.rcode == RCODE_NOERROR
+        assert hit.answers[0].a_address.startswith("127.0.0.")
+        miss = server.handle_message(
+            DnsMessage.query("9.3.2.1.bl.x", QTYPE_A))
+        assert miss.rcode == RCODE_NXDOMAIN and not miss.answers
+
+    def test_server_answers_prefix_queries(self):
+        server = DnsblServer(DnsblZone("bl.x", ["1.2.3.4", "1.2.3.200"]))
+        low = server.handle_message(
+            DnsMessage.query("0.3.2.1.bl.x", QTYPE_AAAA))
+        bitmap = low.answers[0].aaaa_bits
+        assert bitmap_test(bitmap, 4)
+        assert not bitmap_test(bitmap, 5)
+        high = server.handle_message(
+            DnsMessage.query("1.3.2.1.bl.x", QTYPE_AAAA))
+        assert bitmap_test(high.answers[0].aaaa_bits, 200 % 128)
+
+    def test_clean_prefix_answers_zero_bitmap(self):
+        server = DnsblServer(DnsblZone("bl.x"))
+        response = server.handle_message(
+            DnsMessage.query("0.1.1.1.bl.x", QTYPE_AAAA))
+        assert response.rcode == RCODE_NOERROR
+        assert response.answers[0].aaaa_bits == 0
+
+    def test_garbage_wire_gets_servfail(self):
+        server = DnsblServer(DnsblZone("bl.x"))
+        response = DnsMessage.decode(server.handle_wire(b"\xff" * 20))
+        assert response.rcode != RCODE_NOERROR
+
+    def test_prefix_queries_can_be_disabled(self):
+        server = DnsblServer(DnsblZone("bl.x", ["1.2.3.4"]),
+                             enable_prefix_queries=False)
+        response = server.handle_message(
+            DnsMessage.query("0.3.2.1.bl.x", QTYPE_AAAA))
+        assert response.rcode == RCODE_NXDOMAIN
+
+
+class TestTtlCache:
+    def test_hit_then_expiry(self):
+        cache = TtlCache(ttl=10.0)
+        cache.put("k", 1, now=0.0)
+        assert cache.get("k", now=9.9) == 1
+        assert cache.get("k", now=10.1) is None
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.expirations == 1
+
+    def test_lru_eviction(self):
+        cache = TtlCache(ttl=100.0, max_entries=2)
+        cache.put("a", 1, now=0)
+        cache.put("b", 2, now=0)
+        cache.get("a", now=1)          # refresh a's recency
+        cache.put("c", 3, now=2)       # evicts b
+        assert cache.peek("b", now=2) is None
+        assert cache.peek("a", now=2) == 1
+        assert cache.stats.evictions == 1
+
+    def test_purge_expired(self):
+        cache = TtlCache(ttl=5.0)
+        for i in range(4):
+            cache.put(i, i, now=float(i))
+        assert cache.purge_expired(now=7.1) == 3  # t=0,1,2 are now stale
+        assert len(cache) == 1
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            TtlCache(ttl=0)
+        with pytest.raises(ValueError):
+            TtlCache(max_entries=0)
+
+
+def make_resolver(strategy, ips=("1.2.3.4", "1.2.3.77", "1.2.3.200")):
+    zone = DnsblZone("bl.example", ips)
+    return DnsblResolver(DnsblServer(zone), strategy, rng=RngStream(1))
+
+
+class TestResolvers:
+    def test_ip_strategy_caches_per_ip(self):
+        resolver = make_resolver(IpStrategy())
+        assert resolver.lookup("1.2.3.4", 0.0).listed
+        assert resolver.lookup("1.2.3.4", 1.0).cache_hit
+        assert not resolver.lookup("1.2.3.5", 1.0).cache_hit
+        assert resolver.queries_sent == 2
+
+    def test_prefix_strategy_caches_per_half(self):
+        resolver = make_resolver(PrefixStrategy())
+        first = resolver.lookup("1.2.3.4", 0.0)
+        assert first.listed and not first.cache_hit
+        neighbour = resolver.lookup("1.2.3.77", 0.0)
+        assert neighbour.listed and neighbour.cache_hit
+        clean_neighbour = resolver.lookup("1.2.3.90", 0.0)
+        assert not clean_neighbour.listed and clean_neighbour.cache_hit
+        other_half = resolver.lookup("1.2.3.200", 0.0)
+        assert other_half.listed and not other_half.cache_hit
+        assert resolver.queries_sent == 2
+
+    def test_negative_answers_cached(self):
+        resolver = make_resolver(IpStrategy())
+        assert not resolver.lookup("9.9.9.9", 0.0).listed
+        again = resolver.lookup("9.9.9.9", 1.0)
+        assert again.cache_hit and not again.listed
+        assert resolver.queries_sent == 1
+
+    def test_ttl_expiry_requeries(self):
+        resolver = make_resolver(IpStrategy())
+        resolver.lookup("1.2.3.4", 0.0)
+        assert not resolver.lookup("1.2.3.4", 90_000.0).cache_hit
+        assert resolver.queries_sent == 2
+
+    def test_latency_only_on_misses(self):
+        resolver = DnsblResolver(
+            DnsblServer(DnsblZone("bl.example", ["1.2.3.4"])), IpStrategy(),
+            latency_model=PROVIDERS["cbl.abuseat.org"], rng=RngStream(2))
+        miss = resolver.lookup("1.2.3.4", 0.0)
+        hit = resolver.lookup("1.2.3.4", 1.0)
+        assert miss.latency > 0.0
+        assert hit.latency == 0.0
+
+    def test_bank_aggregates_providers(self):
+        bank = DnsblBank([make_resolver(IpStrategy(), ips=["1.2.3.4"]),
+                          make_resolver(IpStrategy(), ips=["5.6.7.8"])])
+        result = bank.lookup("1.2.3.4", 0.0)
+        assert result.listed          # listed by the first provider
+        assert not result.cache_hit
+        assert result.queries_issued == 2
+        again = bank.lookup("1.2.3.4", 1.0)
+        assert again.cache_hit and again.queries_issued == 0
+        assert bank.queries_sent == 2
+
+    def test_parallel_lookup_latency_is_max(self):
+        a = DnsblResolver(DnsblServer(DnsblZone("a.x", ["1.1.1.1"])),
+                          IpStrategy(),
+                          latency_model=PROVIDERS["cbl.abuseat.org"],
+                          rng=RngStream(3))
+        b = DnsblResolver(DnsblServer(DnsblZone("b.x")), IpStrategy(),
+                          latency_model=PROVIDERS["dul.dnsbl.sorbs.net"],
+                          rng=RngStream(4))
+        listed, latency = parallel_lookup([a, b], "1.1.1.1", 0.0)
+        assert listed
+        assert latency >= max(r.cache.peek is not None and 0 or 0
+                              for r in (a, b))  # latency is a real float
+        assert latency > 0
+
+
+class TestLatencyModels:
+    def test_paper_band_over_100ms(self):
+        rng = RngStream(11)
+        fractions = [model.fraction_over(0.100, rng, n=4000)
+                     for model in PROVIDERS.values()]
+        assert 0.13 <= min(fractions)
+        assert max(fractions) <= 0.55
+
+    def test_six_providers(self):
+        assert len(PROVIDERS) == 6
+
+    def test_samples_positive(self):
+        rng = RngStream(12)
+        model = PROVIDERS["bl.spamcop.net"]
+        assert all(model.sample(rng) > 0 for _ in range(100))

@@ -1,0 +1,33 @@
+"""Run the library's doctests — the examples in docstrings must stay true."""
+
+import doctest
+
+import pytest
+
+import repro.dnsbl.bitmap
+import repro.dnsbl.cache
+import repro.smtp.address
+import repro.smtp.commands
+import repro.smtp.client_fsm
+import repro.smtp.message
+import repro.smtp.replies
+import repro.sim.core
+import repro.sim.random
+import repro.sim.resources
+import repro.traces.record
+
+MODULES = [
+    repro.dnsbl.bitmap, repro.dnsbl.cache,
+    repro.smtp.address, repro.smtp.commands, repro.smtp.client_fsm,
+    repro.smtp.message, repro.smtp.replies,
+    repro.sim.core, repro.sim.random, repro.sim.resources,
+    repro.traces.record,
+]
+
+
+@pytest.mark.parametrize("module", MODULES,
+                         ids=[m.__name__ for m in MODULES])
+def test_doctests(module):
+    result = doctest.testmod(module)
+    assert result.failed == 0
+    assert result.attempted > 0, f"{module.__name__} lost its doctests"

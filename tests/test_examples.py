@@ -1,0 +1,49 @@
+"""Smoke tests: the fast examples run end-to-end as real subprocesses."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, *args, timeout=120):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=timeout)
+
+
+def test_quickstart_runs(tmp_path):
+    result = run_example("quickstart.py")
+    assert result.returncode == 0, result.stderr
+    assert "shared mailbox stores the spam once: 1 shared record" \
+        in result.stdout
+    assert "bounce attempt delivered? False" in result.stdout
+
+
+def test_mfs_tour_runs():
+    result = run_example("mfs_tour.py")
+    assert result.returncode == 0, result.stderr
+    assert "rejected: mail-id collision" in result.stdout
+    assert "after repair: clean=True" in result.stdout
+
+
+def test_sinkhole_campaign_runs_small():
+    result = run_example("spam_sinkhole_campaign.py", "4000")
+    assert result.returncode == 0, result.stderr
+    assert "hit ratio" in result.stdout
+    # the DNSBLv6 line must show fewer queries than the per-IP line
+    lines = [l for l in result.stdout.splitlines() if "queries sent" in l]
+    assert len(lines) == 2
+    ip_q = int(lines[0].split("queries sent")[1].split()[0])
+    pf_q = int(lines[1].split("queries sent")[1].split()[0])
+    assert pf_q < ip_q
+
+
+@pytest.mark.slow
+def test_departmental_server_runs_small():
+    result = run_example("departmental_server.py", "3000", timeout=300)
+    assert result.returncode == 0, result.stderr
+    assert "throughput +" in result.stdout

@@ -1,0 +1,149 @@
+"""Failure-injection tests: corrupt files, hostile clients, torn state."""
+
+import asyncio
+
+import pytest
+
+from repro.errors import MfsError
+from repro.mfs import DataFile, KeyFile, MfsStore, fsck, repair
+from repro.mfs.layout import DATA_HEADER_SIZE, KEY_RECORD_SIZE
+from repro.net import NetServerConfig, SmtpServer
+from repro.storage import MboxStore
+
+
+class TestMfsCorruption:
+    def test_truncated_data_record_detected(self, tmp_path):
+        df = DataFile(tmp_path / "d")
+        offset = df.append("M1", b"payload-bytes")
+        df.close()
+        # chop the payload tail off
+        raw = (tmp_path / "d").read_bytes()
+        (tmp_path / "d").write_bytes(raw[:-4])
+        df = DataFile(tmp_path / "d")
+        with pytest.raises(MfsError, match="truncated"):
+            df.read(offset)
+
+    def test_bitflip_in_key_file_detected_on_load(self, tmp_path):
+        from repro.mfs.layout import KeyEntry
+        kf = KeyFile(tmp_path / "k")
+        kf.append(KeyEntry("M1", 0, 1))
+        kf.close()
+        raw = bytearray((tmp_path / "k").read_bytes())
+        raw[28] = 77  # corrupt the status byte
+        (tmp_path / "k").write_bytes(bytes(raw))
+        with pytest.raises(MfsError):
+            KeyFile(tmp_path / "k")
+
+    def test_partial_key_append_detected(self, tmp_path):
+        """A crash mid-append leaves a torn trailing record."""
+        from repro.mfs.layout import KeyEntry
+        kf = KeyFile(tmp_path / "k")
+        kf.append(KeyEntry("M1", 0, 1))
+        kf.close()
+        with open(tmp_path / "k", "ab") as fh:
+            fh.write(b"\x00" * (KEY_RECORD_SIZE // 2))
+        with pytest.raises(MfsError, match="torn"):
+            KeyFile(tmp_path / "k")
+
+    def test_crash_between_shared_write_and_key_appends(self, tmp_path,
+                                                        make_message):
+        """Simulates §6 crash window: shared record exists, one recipient's
+        key tuple missing.  fsck finds it, repair fixes the refcount."""
+        store = MfsStore(tmp_path)
+        message = make_message(["a@d.com", "b@d.com"])
+        store.deliver(message)
+        # crash: b's key append is "lost"
+        store.open_mailbox("b@d.com").keys.tombstone(message.mail_id)
+        report = fsck(store)
+        assert report.bad_refcounts == {message.mail_id: (2, 1)}
+        repair(store)
+        assert fsck(store).clean
+        # a still reads the mail; the refcount matches reality
+        assert store.read("a@d.com", message.mail_id).payload \
+            == message.serialized()
+        store.close()
+
+    def test_double_delete_rejected(self, tmp_path, make_message):
+        store = MfsStore(tmp_path)
+        message = make_message(["a@d.com"])
+        store.deliver(message)
+        store.delete("a@d.com", message.mail_id)
+        with pytest.raises(Exception):
+            store.delete("a@d.com", message.mail_id)
+        store.close()
+
+
+class TestHostileClients:
+    VALID = {"alice@dest.example"}
+
+    def _server(self, store):
+        return SmtpServer(NetServerConfig(architecture="fork-after-trust"),
+                          store, lambda a: a.mailbox in self.VALID)
+
+    def test_garbage_bytes_get_error_replies(self, tmp_path):
+        async def scenario():
+            server = self._server(MboxStore(tmp_path))
+            async with server:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", server.port)
+                await reader.readline()  # banner
+                writer.write(b"\x00\xff\xfe garbage\r\nQUIT\r\n")
+                await writer.drain()
+                reply = await reader.readline()
+                assert reply.startswith(b"500")
+                writer.close()
+        asyncio.run(scenario())
+
+    def test_client_drops_mid_data(self, tmp_path):
+        async def scenario():
+            store = MboxStore(tmp_path)
+            server = self._server(store)
+            async with server:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", server.port)
+                await reader.readline()
+                writer.write(b"HELO x\r\nMAIL FROM:<s@x.com>\r\n"
+                             b"RCPT TO:<alice@dest.example>\r\nDATA\r\n"
+                             b"half a mail...")
+                await writer.drain()
+                writer.close()
+                await asyncio.sleep(0.05)
+            assert server.stats.mails_accepted == 0
+            assert store.list_mailbox("alice@dest.example") == []
+        asyncio.run(scenario())
+
+    def test_oversized_command_line_rejected_not_buffered(self, tmp_path):
+        """The §5.2 security property: the master's fixed-size line buffer
+        rejects oversized envelope lines instead of growing unboundedly."""
+        async def scenario():
+            server = self._server(MboxStore(tmp_path))
+            async with server:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", server.port)
+                await reader.readline()
+                writer.write(b"HELO " + b"A" * 4096 + b"\r\nQUIT\r\n")
+                await writer.drain()
+                reply = await reader.readline()
+                assert reply.startswith(b"500")
+                writer.close()
+        asyncio.run(scenario())
+
+    def test_slow_client_does_not_block_others(self, tmp_path):
+        """A stalled envelope in the master's event loop must not stop a
+        concurrent client from completing (the §5 event-loop property)."""
+        async def scenario():
+            store = MboxStore(tmp_path)
+            server = self._server(store)
+            async with server:
+                # stalled client: connects and goes silent
+                _, slow_writer = await asyncio.open_connection(
+                    "127.0.0.1", server.port)
+                from repro.net import SmtpClient
+                from repro.smtp import OutgoingMail
+                results = await asyncio.wait_for(
+                    SmtpClient("127.0.0.1", server.port, [OutgoingMail(
+                        "s@x.com", ["alice@dest.example"], b"x\r\n")]).run(),
+                    timeout=5.0)
+                assert results[0].delivered
+                slow_writer.close()
+        asyncio.run(scenario())

@@ -1,0 +1,92 @@
+"""Tests for the experiment harness: fast experiments end-to-end, report
+rendering, and the CLI."""
+
+import pytest
+
+from repro.harness import (EXPERIMENTS, ExperimentResult, Scale,
+                           render_result, render_table, write_experiments_md)
+from repro.harness.cli import main as cli_main
+from repro.harness.experiment import Anchor, within
+
+#: experiments cheap enough to execute in unit tests at quick scale
+FAST = ["table1", "fig1", "fig3", "fig4", "fig5", "fig12", "fig13"]
+
+
+class TestFastExperiments:
+    @pytest.mark.parametrize("exp_id", FAST)
+    def test_runs_and_anchors_hold(self, exp_id):
+        result = EXPERIMENTS[exp_id]().run(scale=Scale.QUICK)
+        assert result.rows, f"{exp_id} produced no data"
+        assert result.anchors, f"{exp_id} checked no paper claims"
+        failed = [a for a in result.anchors if not a.holds]
+        assert not failed, f"{exp_id}: {[a.description for a in failed]}"
+
+    def test_registry_covers_every_table_and_figure(self):
+        expected = {"table1", "fig1", "fig3", "fig4", "fig5", "fig8",
+                    "fig10", "fig11", "mfs-sinkhole", "fig12", "fig13",
+                    "fig14", "fig15", "combined"}
+        assert set(EXPERIMENTS) == expected
+
+    def test_scale_validation(self):
+        with pytest.raises(ValueError):
+            Scale.validate("huge")
+
+
+class TestFig15Experiment:
+    """fig15 is the cheapest experiment touching the resolver pipeline."""
+
+    def test_cache_hit_anchors(self):
+        result = EXPERIMENTS["fig15"]().run(scale=Scale.QUICK)
+        by_strategy = {row["strategy"]: row for row in result.rows}
+        assert float(by_strategy["prefix"]["hit_ratio"]) > \
+            float(by_strategy["ip"]["hit_ratio"])
+        assert all(a.holds for a in result.anchors), [
+            (a.description, a.measured_value) for a in result.anchors
+            if not a.holds]
+
+
+class TestRendering:
+    def test_render_table_alignment(self):
+        text = render_table(["a", "bb"], [{"a": 1, "bb": "xy"},
+                                          {"a": 22, "bb": "z"}])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines)
+
+    def test_render_result_includes_anchors(self):
+        result = ExperimentResult("x", "Title X", ["c"], rows=[{"c": 1}])
+        result.add_anchor("claim", "1", "1.01", True)
+        text = render_result(result)
+        assert "Title X" in text and "claim" in text and "yes" in text
+
+    def test_write_experiments_md(self, tmp_path):
+        result = ExperimentResult("x", "Title X", ["c"], rows=[{"c": 1}])
+        result.add_anchor("claim", "1", "0.5", False)
+        path = tmp_path / "EXPERIMENTS.md"
+        write_experiments_md([result], path)
+        text = path.read_text()
+        assert "# EXPERIMENTS" in text
+        assert "Title X" in text
+        assert "NO" in text  # failing anchor visible
+
+    def test_within_helper(self):
+        assert within(1.05, 1.0, 0.1)
+        assert not within(1.2, 1.0, 0.1)
+        assert within(0.0, 0.0, 0.1)
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert cli_main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig8" in out and "combined" in out
+
+    def test_unknown_experiment(self, capsys):
+        assert cli_main(["not-a-figure"]) == 2
+
+    def test_run_one_and_write_md(self, tmp_path, capsys):
+        md = tmp_path / "out.md"
+        code = cli_main(["fig1", "--write-md", str(md)])
+        assert code == 0
+        assert md.exists()
+        assert "Figure 1" in md.read_text()

@@ -1,0 +1,66 @@
+"""Tests for the mail message model and id generation."""
+
+import pytest
+
+from repro.smtp import Address, MailIdGenerator, MailMessage
+
+
+class TestMailIdGenerator:
+    def test_ids_unique_within_generator(self):
+        gen = MailIdGenerator(secret=b"s")
+        ids = {gen.next_id() for _ in range(1000)}
+        assert len(ids) == 1000
+
+    def test_ids_fixed_width_ascii(self):
+        gen = MailIdGenerator(secret=b"s")
+        for _ in range(10):
+            mail_id = gen.next_id()
+            assert len(mail_id) == 16
+            mail_id.encode("ascii")
+
+    def test_distinct_generators_do_not_collide(self):
+        """Two server instances over one store must not reuse ids (§6.4)."""
+        a, b = MailIdGenerator(), MailIdGenerator()
+        ids_a = {a.next_id() for _ in range(200)}
+        ids_b = {b.next_id() for _ in range(200)}
+        assert not ids_a & ids_b
+
+    def test_explicit_secret_reproducible(self):
+        a = MailIdGenerator(secret=b"x", clock=lambda: 5.0)
+        b = MailIdGenerator(secret=b"x", clock=lambda: 5.0)
+        assert a.next_id() == b.next_id()
+
+
+class TestMailMessage:
+    def test_requires_recipient(self, mail_ids):
+        with pytest.raises(ValueError):
+            MailMessage(mail_ids.next_id(), None, [], b"x")
+
+    def test_multi_recipient_flag(self, make_message):
+        assert not make_message(["a@d.com"]).is_multi_recipient
+        assert make_message(["a@d.com", "b@d.com"]).is_multi_recipient
+
+    def test_received_header_added_without_mutation(self, make_message):
+        message = make_message()
+        stamped = message.with_received_header("mx.dest.example")
+        assert "Received" in stamped.headers
+        assert "Received" not in message.headers
+        assert "mx.dest.example" in stamped.headers["Received"]
+        assert stamped.mail_id == message.mail_id
+
+    def test_serialized_contains_headers_and_body(self, make_message):
+        message = make_message(body=b"the body\r\n")
+        message = message.with_received_header("mx")
+        wire = message.serialized()
+        head, _, body = wire.partition(b"\r\n\r\n")
+        assert b"Received:" in head
+        assert b"Return-Path: <s@src.example>" in head
+        assert body == b"the body\r\n"
+
+    def test_null_sender_serialization(self, mail_ids):
+        message = MailMessage(mail_ids.next_id(), None,
+                              [Address.parse("a@d.com")], b"dsn\r\n")
+        assert b"Return-Path: <>" in message.serialized()
+
+    def test_size_is_body_size(self, make_message):
+        assert make_message(body=b"12345").size == 5

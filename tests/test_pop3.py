@@ -1,0 +1,160 @@
+"""Tests for the POP3 retrieval server over the MFS store — the full mail
+lifecycle: SMTP delivery in, POP3 retrieval and deletion out."""
+
+import asyncio
+
+from repro.mfs import MfsStore, fsck
+from repro.net import (NetServerConfig, Pop3Config, Pop3Server, SmtpClient,
+                       SmtpServer)
+from repro.smtp import OutgoingMail
+
+USERS = {"alice@dest.example": "alicepw", "bob@dest.example": "bobpw"}
+
+
+def authenticate(user, password):
+    return user if USERS.get(user) == password else None
+
+
+async def pop3_dialogue(port, *commands):
+    """Run commands against the POP3 server; returns all raw lines."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    transcript = [await reader.readline()]
+    for command in commands:
+        writer.write(command.encode() + b"\r\n")
+        await writer.drain()
+        line = await reader.readline()
+        transcript.append(line)
+        # drain a multi-line response
+        if line.startswith(b"+OK") and command.split()[0] in (
+                "LIST", "UIDL", "RETR") and " " not in command.strip() \
+                or command.split()[0] == "RETR":
+            while True:
+                more = await reader.readline()
+                transcript.append(more)
+                if more == b".\r\n":
+                    break
+        elif command.split()[0] in ("LIST", "UIDL") and \
+                len(command.split()) == 1 and line.startswith(b"+OK"):
+            pass
+    writer.close()
+    try:
+        await writer.wait_closed()
+    except ConnectionResetError:
+        pass
+    return transcript
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestPop3OverMfs:
+    def _deliver(self, store, port=None):
+        """Deliver one shared spam + one personal mail via real SMTP."""
+
+    def test_full_lifecycle(self, tmp_path):
+        async def scenario():
+            store = MfsStore(tmp_path)
+            smtp = SmtpServer(NetServerConfig(), store,
+                              lambda a: a.mailbox in USERS)
+            async with smtp:
+                await SmtpClient("127.0.0.1", smtp.port, [OutgoingMail(
+                    "spam@bot.example", sorted(USERS),
+                    b"shared spam\r\n")]).run()
+                await SmtpClient("127.0.0.1", smtp.port, [OutgoingMail(
+                    "friend@x.com", ["alice@dest.example"],
+                    b"personal\r\n.leading dot\r\n")]).run()
+            assert store.shared_record_count() == 1
+
+            pop3 = Pop3Server(Pop3Config(), store, authenticate)
+            async with pop3:
+                lines = await pop3_dialogue(
+                    pop3.port,
+                    "USER alice@dest.example", "PASS alicepw",
+                    "STAT", "RETR 2", "DELE 1", "QUIT")
+                assert lines[1].startswith(b"+OK")       # USER
+                assert b"2 messages" in lines[2]          # PASS
+                assert lines[3].startswith(b"+OK 2 ")     # STAT
+                body = b"".join(lines[5:-2])
+                assert b"personal" in body
+                assert b"\r\n.leading dot" in body.replace(b"..", b".")
+            # alice deleted the shared spam; bob still has it
+            assert len(store.list_mailbox("alice@dest.example")) == 1
+            assert len(store.list_mailbox("bob@dest.example")) == 1
+            assert store.shared.refcount(
+                store.list_mailbox("bob@dest.example")[0]) == 1
+            assert fsck(store).clean
+            store.close()
+        run(scenario())
+
+    def test_bad_credentials_rejected(self, tmp_path):
+        async def scenario():
+            store = MfsStore(tmp_path)
+            pop3 = Pop3Server(Pop3Config(), store, authenticate)
+            async with pop3:
+                lines = await pop3_dialogue(
+                    pop3.port, "USER alice@dest.example", "PASS wrong",
+                    "STAT", "QUIT")
+                assert lines[2].startswith(b"-ERR")   # PASS rejected
+                assert lines[3].startswith(b"-ERR")   # STAT unauthenticated
+            store.close()
+        run(scenario())
+
+    def test_rset_undoes_deletions(self, tmp_path, make_message):
+        async def scenario():
+            store = MfsStore(tmp_path)
+            store.deliver(make_message(["alice@dest.example"]))
+            pop3 = Pop3Server(Pop3Config(), store, authenticate)
+            async with pop3:
+                await pop3_dialogue(
+                    pop3.port, "USER alice@dest.example", "PASS alicepw",
+                    "DELE 1", "RSET", "QUIT")
+            assert len(store.list_mailbox("alice@dest.example")) == 1
+            store.close()
+        run(scenario())
+
+    def test_dropped_connection_discards_deletions(self, tmp_path,
+                                                   make_message):
+        async def scenario():
+            store = MfsStore(tmp_path)
+            store.deliver(make_message(["alice@dest.example"]))
+            pop3 = Pop3Server(Pop3Config(), store, authenticate)
+            async with pop3:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", pop3.port)
+                await reader.readline()
+                writer.write(b"USER alice@dest.example\r\nPASS alicepw\r\n"
+                             b"DELE 1\r\n")
+                await writer.drain()
+                for _ in range(3):
+                    await reader.readline()
+                writer.close()  # drop without QUIT: no UPDATE state
+                await asyncio.sleep(0.05)
+            assert len(store.list_mailbox("alice@dest.example")) == 1
+            store.close()
+        run(scenario())
+
+    def test_uidl_and_list(self, tmp_path, make_message):
+        async def scenario():
+            store = MfsStore(tmp_path)
+            message = make_message(["alice@dest.example"])
+            store.deliver(message)
+            pop3 = Pop3Server(Pop3Config(), store, authenticate)
+            async with pop3:
+                lines = await pop3_dialogue(
+                    pop3.port, "USER alice@dest.example", "PASS alicepw",
+                    f"UIDL 1", f"LIST 1", "QUIT")
+                assert message.mail_id.encode() in lines[3]
+                assert lines[4].startswith(b"+OK 1 ")
+            store.close()
+        run(scenario())
+
+    def test_unknown_command(self, tmp_path):
+        async def scenario():
+            store = MfsStore(tmp_path)
+            pop3 = Pop3Server(Pop3Config(), store, authenticate)
+            async with pop3:
+                lines = await pop3_dialogue(pop3.port, "XFROB", "QUIT")
+                assert lines[1].startswith(b"-ERR")
+            store.close()
+        run(scenario())

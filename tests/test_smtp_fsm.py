@@ -1,0 +1,234 @@
+"""Tests for the server-side SMTP session state machine."""
+
+import pytest
+
+from repro.smtp import (AcceptedMail, CloseSession, MailIdGenerator,
+                        SendReply, ServerSession, SessionOutcome,
+                        SessionState, TrustEstablished)
+
+
+def make_session(valid=("alice@dest.example", "bob@dest.example"), **kwargs):
+    mailboxes = set(valid)
+    return ServerSession("dest.example", lambda a: a.mailbox in mailboxes,
+                         mail_ids=MailIdGenerator(secret=b"t"), **kwargs)
+
+
+def replies_of(actions):
+    return [a.reply.code.value for a in actions if isinstance(a, SendReply)]
+
+
+def feed_lines(session, *lines):
+    actions = []
+    for line in lines:
+        actions.extend(session.receive_data(line))
+    return actions
+
+
+class TestHappyPath:
+    def test_full_transaction(self):
+        session = make_session()
+        assert replies_of(session.banner()) == [220]
+        actions = feed_lines(
+            session,
+            b"EHLO client.example\r\n",
+            b"MAIL FROM:<s@src.example>\r\n",
+            b"RCPT TO:<alice@dest.example>\r\n",
+            b"DATA\r\n",
+            b"Subject: hi\r\n", b"\r\n", b"body line\r\n", b".\r\n",
+            b"QUIT\r\n",
+        )
+        accepted = [a for a in actions if isinstance(a, AcceptedMail)]
+        trusts = [a for a in actions if isinstance(a, TrustEstablished)]
+        closes = [a for a in actions if isinstance(a, CloseSession)]
+        assert len(accepted) == 1
+        assert len(trusts) == 1
+        assert trusts[0].recipient.mailbox == "alice@dest.example"
+        assert closes[0].outcome is SessionOutcome.DELIVERED
+        message = accepted[0].message
+        assert message.body == b"Subject: hi\r\n\r\nbody line\r\n"
+        assert "Received" in message.headers
+        assert session.outcome() is SessionOutcome.DELIVERED
+
+    def test_pipelined_input_in_one_packet(self):
+        session = make_session()
+        session.banner()
+        actions = session.receive_data(
+            b"EHLO c\r\nMAIL FROM:<s@x.com>\r\n"
+            b"RCPT TO:<alice@dest.example>\r\nDATA\r\n")
+        assert replies_of(actions) == [250, 250, 250, 354]
+
+    def test_multiple_mails_per_session(self):
+        session = make_session()
+        session.banner()
+        actions = feed_lines(
+            session,
+            b"HELO c\r\n",
+            b"MAIL FROM:<s@x.com>\r\n", b"RCPT TO:<alice@dest.example>\r\n",
+            b"DATA\r\n", b"one\r\n", b".\r\n",
+            b"MAIL FROM:<s@x.com>\r\n", b"RCPT TO:<bob@dest.example>\r\n",
+            b"DATA\r\n", b"two\r\n", b".\r\n",
+            b"QUIT\r\n")
+        accepted = [a.message for a in actions if isinstance(a, AcceptedMail)]
+        assert [m.body for m in accepted] == [b"one\r\n", b"two\r\n"]
+        assert accepted[0].mail_id != accepted[1].mail_id
+        assert session.delivered_count == 2
+
+    def test_dot_stuffing_reversed(self):
+        session = make_session()
+        session.banner()
+        actions = feed_lines(
+            session, b"HELO c\r\n", b"MAIL FROM:<s@x.com>\r\n",
+            b"RCPT TO:<alice@dest.example>\r\n", b"DATA\r\n",
+            b"..leading dot\r\n", b"normal\r\n", b".\r\n")
+        message = next(a.message for a in actions
+                       if isinstance(a, AcceptedMail))
+        assert message.body == b".leading dot\r\nnormal\r\n"
+
+
+class TestTrustBoundary:
+    def test_trust_only_on_first_valid_rcpt(self):
+        session = make_session()
+        session.banner()
+        actions = feed_lines(
+            session, b"HELO c\r\n", b"MAIL FROM:<s@x.com>\r\n",
+            b"RCPT TO:<nouser@dest.example>\r\n")
+        assert not any(isinstance(a, TrustEstablished) for a in actions)
+        assert not session.trust_established
+        actions = feed_lines(session, b"RCPT TO:<alice@dest.example>\r\n",
+                             b"RCPT TO:<bob@dest.example>\r\n")
+        trusts = [a for a in actions if isinstance(a, TrustEstablished)]
+        assert len(trusts) == 1  # second valid RCPT does not re-trust
+        assert session.trust_established
+
+
+class TestBouncesAndRogues:
+    def test_pure_bounce_session(self):
+        session = make_session()
+        session.banner()
+        actions = feed_lines(
+            session, b"HELO c\r\n", b"MAIL FROM:<s@x.com>\r\n",
+            b"RCPT TO:<guess1@dest.example>\r\n",
+            b"RCPT TO:<guess2@dest.example>\r\n", b"QUIT\r\n")
+        codes = replies_of(actions)
+        assert codes.count(550) == 2
+        close = next(a for a in actions if isinstance(a, CloseSession))
+        assert close.outcome is SessionOutcome.BOUNCE
+
+    def test_unfinished_session(self):
+        session = make_session()
+        session.banner()
+        actions = feed_lines(session, b"HELO c\r\n", b"QUIT\r\n")
+        close = next(a for a in actions if isinstance(a, CloseSession))
+        assert close.outcome is SessionOutcome.UNFINISHED
+
+    def test_connection_drop_classified_unfinished(self):
+        session = make_session()
+        session.banner()
+        feed_lines(session, b"HELO c\r\n")
+        actions = session.connection_lost()
+        assert actions[0].outcome is SessionOutcome.UNFINISHED
+        assert session.closed
+        assert session.receive_data(b"NOOP\r\n") == []
+
+    def test_blacklist_rejection(self):
+        session = make_session()
+        actions = session.reject_blacklisted()
+        codes = replies_of(actions)
+        assert codes == [554]
+        close = next(a for a in actions if isinstance(a, CloseSession))
+        assert close.outcome is SessionOutcome.REJECTED_BLACKLIST
+
+
+class TestSequencingAndErrors:
+    def test_mail_before_helo_rejected(self):
+        session = make_session()
+        session.banner()
+        actions = session.receive_data(b"MAIL FROM:<s@x.com>\r\n")
+        assert replies_of(actions) == [503]
+
+    def test_rcpt_before_mail_rejected(self):
+        session = make_session()
+        session.banner()
+        actions = feed_lines(session, b"HELO c\r\n",
+                             b"RCPT TO:<alice@dest.example>\r\n")
+        assert 503 in replies_of(actions)
+
+    def test_data_without_rcpt_rejected(self):
+        session = make_session()
+        session.banner()
+        actions = feed_lines(session, b"HELO c\r\n",
+                             b"MAIL FROM:<s@x.com>\r\n", b"DATA\r\n")
+        assert replies_of(actions)[-1] == 503
+
+    def test_double_mail_from_rejected(self):
+        session = make_session()
+        session.banner()
+        actions = feed_lines(session, b"HELO c\r\n",
+                             b"MAIL FROM:<a@x.com>\r\n",
+                             b"MAIL FROM:<b@x.com>\r\n")
+        assert replies_of(actions)[-1] == 503
+
+    def test_rset_clears_envelope(self):
+        session = make_session()
+        session.banner()
+        actions = feed_lines(session, b"HELO c\r\n",
+                             b"MAIL FROM:<a@x.com>\r\n",
+                             b"RSET\r\n",
+                             b"MAIL FROM:<b@x.com>\r\n")
+        assert replies_of(actions) == [250, 250, 250, 250]
+
+    def test_syntax_error_reply(self):
+        session = make_session()
+        session.banner()
+        actions = session.receive_data(b"FROB x\r\n")
+        assert replies_of(actions) == [500]
+
+    def test_vrfy(self):
+        session = make_session()
+        session.banner()
+        actions = feed_lines(session, b"VRFY <alice@dest.example>\r\n",
+                             b"VRFY <nobody@dest.example>\r\n")
+        assert replies_of(actions) == [250, 550]
+
+    def test_max_recipients_enforced(self):
+        session = make_session(max_recipients=2)
+        session.banner()
+        feed_lines(session, b"HELO c\r\n", b"MAIL FROM:<s@x.com>\r\n")
+        actions = feed_lines(session,
+                             b"RCPT TO:<alice@dest.example>\r\n",
+                             b"RCPT TO:<bob@dest.example>\r\n",
+                             b"RCPT TO:<alice@dest.example>\r\n")
+        assert replies_of(actions) == [250, 250, 452]
+
+    def test_message_size_limit(self):
+        session = make_session(max_message_bytes=10)
+        session.banner()
+        actions = feed_lines(session, b"HELO c\r\n",
+                             b"MAIL FROM:<s@x.com>\r\n",
+                             b"RCPT TO:<alice@dest.example>\r\n",
+                             b"DATA\r\n",
+                             b"X" * 100 + b"\r\n", b".\r\n")
+        assert replies_of(actions)[-1] == 552
+        assert session.delivered_count == 0
+
+    def test_oversized_command_line(self):
+        session = make_session()
+        session.banner()
+        actions = session.receive_data(b"NOOP " + b"y" * 600 + b"\r\n")
+        assert replies_of(actions) == [500]
+
+    def test_state_transitions(self):
+        session = make_session()
+        assert session.state is SessionState.CONNECTED
+        session.receive_data(b"HELO c\r\n")
+        assert session.state is SessionState.GREETED
+        session.receive_data(b"MAIL FROM:<s@x.com>\r\n")
+        assert session.state is SessionState.MAIL
+        session.receive_data(b"RCPT TO:<alice@dest.example>\r\n")
+        assert session.state is SessionState.RCPT
+        session.receive_data(b"DATA\r\n")
+        assert session.state is SessionState.DATA
+        session.receive_data(b".\r\n")
+        assert session.state is SessionState.GREETED
+        session.receive_data(b"QUIT\r\n")
+        assert session.state is SessionState.QUIT

@@ -1,0 +1,145 @@
+"""Client-FSM ↔ server-FSM loopback tests, including property-based runs."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.smtp import (AcceptedMail, ClientSession, CloseSession,
+                        MailIdGenerator, OutgoingMail, SendReply,
+                        ServerSession, SessionOutcome)
+from repro.smtp.client_fsm import ClientState, dot_stuff
+
+
+def loopback(mails, valid, quit_after_helo=False, chunk=None):
+    """Run a sans-IO client against a sans-IO server; return artefacts."""
+    server = ServerSession("dest.example", lambda a: a.mailbox in valid,
+                           mail_ids=MailIdGenerator(secret=b"loop"))
+    client = ClientSession(mails, quit_after_helo=quit_after_helo)
+    accepted, outcome = [], []
+
+    def pump(actions):
+        wire = b""
+        for action in actions:
+            if isinstance(action, SendReply):
+                wire += action.reply.encode()
+            elif isinstance(action, AcceptedMail):
+                accepted.append(action.message)
+            elif isinstance(action, CloseSession):
+                outcome.append(action.outcome)
+        return wire
+
+    to_client = pump(server.banner())
+    for _ in range(10_000):
+        if client.done or not to_client:
+            break
+        if chunk:
+            to_server = b""
+            for i in range(0, len(to_client), chunk):
+                to_server += client.receive_data(to_client[i:i + chunk])
+        else:
+            to_server = client.receive_data(to_client)
+        if not to_server:
+            break
+        to_client = pump(server.receive_data(to_server))
+    return client, accepted, outcome
+
+
+VALID = {"alice@dest.example", "bob@dest.example"}
+
+
+class TestLoopback:
+    def test_single_mail_delivery(self):
+        mails = [OutgoingMail("s@x.com", ["alice@dest.example"], b"hi\r\n")]
+        client, accepted, outcome = loopback(mails, VALID)
+        assert client.succeeded
+        assert client.results[0].delivered
+        assert accepted[0].body == b"hi\r\n"
+        assert outcome == [SessionOutcome.DELIVERED]
+
+    def test_mixed_recipients(self):
+        mails = [OutgoingMail("s@x.com", ["alice@dest.example",
+                                          "ghost@dest.example",
+                                          "bob@dest.example"], b"x\r\n")]
+        client, accepted, _ = loopback(mails, VALID)
+        result = client.results[0]
+        assert result.delivered
+        assert result.rejected_recipients == ["ghost@dest.example"]
+        assert len(accepted[0].recipients) == 2
+
+    def test_all_recipients_rejected_skips_data(self):
+        mails = [OutgoingMail("s@x.com", ["g1@dest.example"], b"x\r\n")]
+        client, accepted, outcome = loopback(mails, VALID)
+        assert not client.results[0].delivered
+        assert accepted == []
+        assert outcome == [SessionOutcome.BOUNCE]
+
+    def test_unfinished_session(self):
+        client, accepted, outcome = loopback([], VALID, quit_after_helo=True)
+        assert client.succeeded
+        assert accepted == []
+        assert outcome == [SessionOutcome.UNFINISHED]
+
+    def test_multiple_mails_one_session(self):
+        mails = [
+            OutgoingMail("s@x.com", ["alice@dest.example"], b"first\r\n"),
+            OutgoingMail("s@x.com", ["ghost@dest.example"], b"never\r\n"),
+            OutgoingMail("s@x.com", ["bob@dest.example"], b"third\r\n"),
+        ]
+        client, accepted, outcome = loopback(mails, VALID)
+        assert [r.delivered for r in client.results] == [True, False, True]
+        assert [m.body for m in accepted] == [b"first\r\n", b"third\r\n"]
+        assert outcome == [SessionOutcome.DELIVERED]
+
+    def test_byte_by_byte_chunking(self):
+        mails = [OutgoingMail("s@x.com", ["alice@dest.example"],
+                              b"chunky body\r\n")]
+        client, accepted, _ = loopback(mails, VALID, chunk=1)
+        assert client.succeeded
+        assert accepted[0].body == b"chunky body\r\n"
+
+    def test_client_rejects_empty_session_without_flag(self):
+        with pytest.raises(ValueError):
+            ClientSession([])
+
+    def test_connection_lost_marks_failed(self):
+        client = ClientSession(
+            [OutgoingMail("s@x.com", ["a@dest.example"], b"x")])
+        client.receive_data(b"220 hello\r\n")
+        client.connection_lost()
+        assert client.state is ClientState.FAILED
+
+
+class TestDotStuffing:
+    def test_stuff_and_terminator_safety(self):
+        stuffed = dot_stuff(b".hidden\r\nvisible\r\n.\r\nmore\r\n")
+        # no line in the stuffed output is exactly "."
+        assert b"\r\n.\r\n" not in b"\r\n" + stuffed
+
+    @given(st.binary(max_size=300))
+    @settings(max_examples=100, deadline=None)
+    def test_property_stuffed_body_never_contains_bare_dot_line(self, body):
+        stuffed = dot_stuff(body)
+        for line in stuffed.split(b"\r\n"):
+            assert line != b"."
+
+
+_body_line = st.text(
+    alphabet=st.characters(min_codepoint=32, max_codepoint=126),
+    max_size=60)
+
+
+class TestLoopbackProperties:
+    @given(st.lists(_body_line, max_size=8),
+           st.integers(min_value=1, max_value=3))
+    @settings(max_examples=60, deadline=None)
+    def test_any_printable_body_roundtrips(self, lines, n_rcpts):
+        body = "".join(line + "\r\n" for line in lines).encode()
+        recipients = ["alice@dest.example", "bob@dest.example",
+                      "carol@dest.example"][:n_rcpts]
+        mails = [OutgoingMail("s@x.com", recipients, body)]
+        valid = set(recipients)
+        client, accepted, _ = loopback(mails, valid)
+        assert client.succeeded
+        assert client.results[0].delivered
+        assert accepted[0].body == body
+        assert len(accepted[0].recipients) == n_rcpts

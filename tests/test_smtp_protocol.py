@@ -1,0 +1,171 @@
+"""Tests for SMTP address parsing, command parsing and reply codecs."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ProtocolError
+from repro.smtp import (Address, Command, Reply, ReplyCode, Verb,
+                        parse_command_line, parse_path, parse_reply_line)
+from repro.smtp.replies import STANDARD
+
+
+class TestAddress:
+    def test_parse_and_canonical_mailbox(self):
+        addr = Address.parse("Bob.Smith@Example.ORG")
+        assert addr.local == "Bob.Smith"
+        assert addr.domain == "example.org"
+        assert addr.mailbox == "bob.smith@example.org"
+        assert str(addr) == "Bob.Smith@example.org"
+
+    @pytest.mark.parametrize("bad", [
+        "no-at-sign", "two@@ats", "a@b@c", "@missing.local",
+        "missing-domain@", ".leadingdot@x.com", "trailing.@x.com",
+        "doub..ledot@x.com", "user@-bad-.com", "user@bad_domain.com",
+    ])
+    def test_invalid_addresses_rejected(self, bad):
+        with pytest.raises(ProtocolError):
+            Address.parse(bad)
+
+    def test_address_literal_domain(self):
+        addr = Address.parse("root@[192.0.2.1]")
+        assert addr.domain == "[192.0.2.1]"
+
+    def test_ordering_and_equality(self):
+        a = Address.parse("a@x.com")
+        assert a == Address.parse("a@x.com")
+        assert a < Address.parse("b@x.com")
+
+
+class TestParsePath:
+    def test_angle_brackets_stripped(self):
+        assert parse_path("<u@d.com>") == Address.parse("u@d.com")
+
+    def test_source_route_ignored(self):
+        addr = parse_path("<@relay1.example,@relay2.example:u@d.com>")
+        assert addr == Address.parse("u@d.com")
+
+    def test_null_path_only_when_allowed(self):
+        assert parse_path("<>", allow_empty=True) is None
+        with pytest.raises(ProtocolError):
+            parse_path("<>")
+
+    @pytest.mark.parametrize("bad", ["<unbalanced", "unbalanced>",
+                                     "<@noroute u@d.com>", "<@:u@d.com>"])
+    def test_malformed_paths(self, bad):
+        with pytest.raises(ProtocolError):
+            parse_path(bad)
+
+
+class TestCommands:
+    def test_helo_requires_argument(self):
+        cmd = parse_command_line(b"HELO client.example\r\n")
+        assert cmd.verb is Verb.HELO and cmd.argument == "client.example"
+        with pytest.raises(ProtocolError):
+            parse_command_line(b"HELO\r\n")
+
+    def test_mail_from_with_null_path(self):
+        cmd = parse_command_line(b"MAIL FROM:<>\r\n")
+        assert cmd.verb is Verb.MAIL and cmd.address is None
+
+    def test_mail_from_with_esmtp_params(self):
+        cmd = parse_command_line(b"MAIL FROM:<a@b.com> SIZE=1000 BODY=8BITMIME")
+        assert cmd.address == Address.parse("a@b.com")
+        assert cmd.params == ("SIZE=1000", "BODY=8BITMIME")
+
+    def test_rcpt_requires_non_null_path(self):
+        with pytest.raises(ProtocolError):
+            parse_command_line(b"RCPT TO:<>\r\n")
+
+    def test_case_insensitive_verbs_and_keywords(self):
+        cmd = parse_command_line(b"rcpt to:<X@Y.org>\r\n")
+        assert cmd.verb is Verb.RCPT
+        assert cmd.address.mailbox == "x@y.org"
+
+    @pytest.mark.parametrize("line", [b"DATA extra\r\n", b"QUIT now\r\n",
+                                      b"RSET x\r\n"])
+    def test_argumentless_verbs_reject_arguments(self, line):
+        with pytest.raises(ProtocolError):
+            parse_command_line(line)
+
+    def test_unknown_command(self):
+        with pytest.raises(ProtocolError):
+            parse_command_line(b"BDAT 100\r\n")
+
+    def test_overlong_line_rejected(self):
+        with pytest.raises(ProtocolError):
+            parse_command_line(b"NOOP " + b"x" * 600)
+
+    def test_non_ascii_rejected(self):
+        with pytest.raises(ProtocolError):
+            parse_command_line("HELO ünïcode\r\n".encode("utf-8"))
+
+    def test_vrfy_parses_address(self):
+        cmd = parse_command_line(b"VRFY <user@dest.example>\r\n")
+        assert cmd.address == Address.parse("user@dest.example")
+
+    def test_noop_help_accept_anything(self):
+        assert parse_command_line(b"NOOP whatever\r\n").verb is Verb.NOOP
+        assert parse_command_line(b"HELP MAIL\r\n").verb is Verb.HELP
+
+
+class TestReplies:
+    def test_single_line_encode(self):
+        assert Reply(ReplyCode.OK, "Ok").encode() == b"250 Ok\r\n"
+
+    def test_multiline_encode(self):
+        wire = STANDARD.ehlo_ok("srv", "cli").encode()
+        lines = wire.split(b"\r\n")[:-1]
+        assert lines[0].startswith(b"250-")
+        assert lines[-1].startswith(b"250 ")
+
+    def test_parse_reply_line(self):
+        assert parse_reply_line(b"250-PIPELINING\r\n") == (250, False,
+                                                           "PIPELINING")
+        assert parse_reply_line(b"221 Bye\r\n") == (221, True, "Bye")
+        assert parse_reply_line(b"354\r\n") == (354, True, "")
+
+    @pytest.mark.parametrize("bad", [b"xx bad\r\n", b"25 Bad\r\n",
+                                     b"250?Bad\r\n"])
+    def test_malformed_reply_lines(self, bad):
+        with pytest.raises(ProtocolError):
+            parse_reply_line(bad)
+
+    def test_reply_code_classes(self):
+        assert ReplyCode.OK.is_positive
+        assert ReplyCode.MAILBOX_BUSY.is_transient_failure
+        assert ReplyCode.MAILBOX_UNAVAILABLE.is_permanent_failure
+
+    def test_encode_parse_roundtrip(self):
+        for reply in (STANDARD.ok, STANDARD.user_unknown, STANDARD.bye,
+                      STANDARD.data_go_ahead):
+            code, is_last, text = parse_reply_line(reply.encode())
+            assert code == reply.code.value
+            assert is_last
+            assert text == reply.text
+
+
+_local = st.text(
+    alphabet=st.sampled_from("abcdefghijklmnopqrstuvwxyz0123456789"),
+    min_size=1, max_size=20)
+_domain_label = st.text(
+    alphabet=st.sampled_from("abcdefghijklmnopqrstuvwxyz0123456789"),
+    min_size=1, max_size=10)
+
+
+class TestAddressProperties:
+    @given(_local, st.lists(_domain_label, min_size=1, max_size=4))
+    @settings(max_examples=100, deadline=None)
+    def test_roundtrip_through_rcpt_command(self, local, labels):
+        address = f"{local}@{'.'.join(labels)}"
+        cmd = parse_command_line(f"RCPT TO:<{address}>\r\n".encode())
+        assert cmd.address.mailbox == address.lower()
+
+    @given(st.binary(min_size=1, max_size=80))
+    @settings(max_examples=200, deadline=None)
+    def test_parser_never_crashes_unexpectedly(self, raw):
+        """Arbitrary input either parses or raises ProtocolError."""
+        try:
+            parse_command_line(raw + b"\r\n")
+        except ProtocolError:
+            pass

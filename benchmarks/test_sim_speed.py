@@ -1,0 +1,65 @@
+"""Kernel microbenchmark: DES engine events/sec on a Figure-8-shaped load.
+
+Figure 8 is the paper's canonical server experiment — many concurrent
+closed-loop clients contending on a shared CPU — and its shape (request /
+compute / release / idle timeout per step) exercises every kernel fast path
+at once: the timeout pool, the waiter-slot inline resume, and the flattened
+resource grant.  The reported events/sec is the number every figure
+experiment is ultimately bounded by; watch it in BENCH output to track the
+perf trajectory across PRs.
+"""
+
+from repro.sim import Simulator
+from repro.sim.resources import CPU
+
+N_CLIENTS = 400
+STEPS = 60
+
+
+def _fig8_workload():
+    """Run the Figure-8-shaped load and return the simulator for stats."""
+    sim = Simulator()
+    cpu = CPU(sim, cores=1)
+
+    def client(pid):
+        for _ in range(STEPS):
+            yield from cpu.compute(pid, 1e-4)
+            yield sim.timeout(1e-3)
+
+    for pid in range(N_CLIENTS):
+        sim.process(client(pid))
+    sim.run()
+    return sim
+
+
+def test_fig8_shaped_event_rate(benchmark):
+    """Events/sec with resource contention (the figure-experiment shape)."""
+    sim = benchmark(_fig8_workload)
+    stats = sim.kernel_stats()
+    # ~3 events per compute slice + 1 idle timeout per step per client
+    assert stats.events >= N_CLIENTS * STEPS
+    assert stats.steps >= N_CLIENTS * STEPS
+    assert stats.events_per_sec > 0
+    benchmark.extra_info["events_per_sec"] = round(stats.events_per_sec)
+    benchmark.extra_info["steps_per_sec"] = round(stats.steps_per_sec)
+
+
+def test_pure_timeout_event_rate(benchmark):
+    """Events/sec with nothing but pooled timeouts (kernel ceiling)."""
+
+    def run():
+        sim = Simulator()
+
+        def ticker():
+            for _ in range(500):
+                yield sim.timeout(1.0)
+
+        for _ in range(200):
+            sim.process(ticker())
+        sim.run()
+        return sim
+
+    sim = benchmark(run)
+    stats = sim.kernel_stats()
+    assert stats.events >= 100_000
+    benchmark.extra_info["events_per_sec"] = round(stats.events_per_sec)

@@ -4,17 +4,20 @@ Examples::
 
     repro-experiments --list
     repro-experiments fig8 fig15
-    repro-experiments --scale full --write-md EXPERIMENTS.md
+    repro-experiments --scale full --jobs 4 --write-md EXPERIMENTS.md
+    repro-experiments --clear-cache
+    repro-experiments fig8 --profile
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-import time
 
+from .cache import ResultCache
 from .experiment import Scale
 from .figures import EXPERIMENTS
+from .parallel import run_experiments
 from .report import render_result, write_experiments_md
 
 __all__ = ["main"]
@@ -34,7 +37,36 @@ def build_parser() -> argparse.ArgumentParser:
                         help="list available experiments and exit")
     parser.add_argument("--write-md", metavar="PATH", default=None,
                         help="also write an EXPERIMENTS.md-style report")
+    parser.add_argument("--jobs", "-j", type=int, default=1, metavar="N",
+                        help="run experiments across N worker processes "
+                             "(default: 1)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="ignore and do not update the on-disk result "
+                             "cache")
+    parser.add_argument("--clear-cache", action="store_true",
+                        help="delete all cached results and exit")
+    parser.add_argument("--profile", action="store_true",
+                        help="run one experiment under cProfile and dump "
+                             "<id>-<scale>.prof (implies --jobs 1, no cache)")
     return parser
+
+
+def _profile_one(exp_id: str, scale: str) -> int:
+    import cProfile
+    import pstats
+
+    dump = f"{exp_id}-{scale}.prof"
+    profiler = cProfile.Profile()
+    profiler.enable()
+    result = EXPERIMENTS[exp_id]().run(scale=scale)
+    profiler.disable()
+    profiler.dump_stats(dump)
+    print(render_result(result))
+    print()
+    stats = pstats.Stats(profiler)
+    stats.sort_stats("cumulative").print_stats(20)
+    print(f"wrote {dump}")
+    return 0 if result.all_anchors_hold else 1
 
 
 def main(argv=None) -> int:
@@ -43,20 +75,36 @@ def main(argv=None) -> int:
         for exp_id, cls in EXPERIMENTS.items():
             print(f"{exp_id:14s} {cls.title}")
         return 0
+    if args.clear_cache:
+        removed = ResultCache().clear()
+        print(f"removed {removed} cached result(s)")
+        return 0
+    if args.jobs < 1:
+        print("--jobs must be >= 1", file=sys.stderr)
+        return 2
     chosen = args.experiments or list(EXPERIMENTS)
     unknown = [e for e in chosen if e not in EXPERIMENTS]
     if unknown:
         print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
         print(f"available: {', '.join(EXPERIMENTS)}", file=sys.stderr)
         return 2
+    if args.profile:
+        if len(chosen) != 1:
+            print("--profile needs exactly one experiment id",
+                  file=sys.stderr)
+            return 2
+        return _profile_one(chosen[0], args.scale)
+
+    cache = None if args.no_cache else ResultCache()
+    outcomes = run_experiments(chosen, args.scale, jobs=args.jobs,
+                               cache=cache)
     results = []
     failures = 0
-    for exp_id in chosen:
-        experiment = EXPERIMENTS[exp_id]()
-        start = time.time()
-        result = experiment.run(scale=args.scale)
-        result.notes = (result.notes + " " if result.notes else "") + \
-            f"(ran in {time.time() - start:.1f}s)"
+    for outcome in outcomes:
+        result = outcome.result
+        suffix = "(cached)" if outcome.cached else \
+            f"(ran in {outcome.elapsed:.1f}s)"
+        result.notes = (result.notes + " " if result.notes else "") + suffix
         results.append(result)
         print(render_result(result))
         print()

@@ -18,9 +18,9 @@ from ..sim.random import RngStream
 from ..sim.stats import Cdf
 from ..storage.diskmodel import EXT3, REISER
 from ..traces import (BotnetModel, EcnBounceSeries, SinkholeConfig,
-                      SinkholeTraceGenerator, UnivConfig, UnivTraceGenerator,
-                      bounce_sweep_trace, interarrival_cdfs,
-                      recipient_sequence_trace, with_bounces)
+                      bounce_sweep_trace, cached_sinkhole, cached_univ,
+                      interarrival_cdfs, recipient_sequence_trace,
+                      with_bounces)
 from .experiment import Experiment, ExperimentResult, Scale, fmt, within
 
 __all__ = ["EXPERIMENTS"]
@@ -31,10 +31,9 @@ __all__ = ["EXPERIMENTS"]
 # --------------------------------------------------------------------------
 
 def _sinkhole(scale: str, n_quick: int = 8_000, n_full: int = 40_000):
+    """Shared, memoized sinkhole generation (read-only for all callers)."""
     n = n_quick if scale == Scale.QUICK else n_full
-    generator = SinkholeTraceGenerator(SinkholeConfig().scaled(n))
-    prefixes = generator.botnet()
-    return generator.generate(prefixes), prefixes
+    return cached_sinkhole(n)
 
 
 def _duration(scale: str) -> tuple[float, float]:
@@ -59,7 +58,7 @@ class Table1(Experiment):
         sink_trace, _ = _sinkhole(scale)
         sink = sink_trace.stats()
         n_univ = 8_000 if scale == Scale.QUICK else 40_000
-        univ = UnivTraceGenerator(UnivConfig().scaled(n_univ)).generate().stats()
+        univ = cached_univ(n_univ).stats()
         for name, st in (("sinkhole", sink), ("univ", univ)):
             result.add_row(trace=name, connections=st.connections,
                            unique_ips=st.unique_ips,
@@ -589,7 +588,7 @@ class Combined(Experiment):
 
         # univ workload
         n_univ = 8_000 if scale == Scale.QUICK else 16_000
-        univ = UnivTraceGenerator(UnivConfig().scaled(n_univ)).generate()
+        univ = cached_univ(n_univ)
         spam_ips = ({c.client_ip for c in univ for m in c.mails if m.is_spam}
                     | {c.client_ip for c in univ if c.unfinished})
         mvu = run_closed_timed(univ, lambda s: build_vanilla(s, spam_ips),

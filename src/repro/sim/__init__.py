@@ -10,12 +10,12 @@ from .core import (AllOf, AnyOf, Event, Interrupt, Process, SimulationError,
                    Simulator, Timeout)
 from .random import RngStream, SeedSequence
 from .resources import CPU, Disk, Request, Resource, Store
-from .stats import Cdf, Counter, TimeSeries, summarize
+from .stats import Cdf, Counter, KernelStats, TimeSeries, summarize
 
 __all__ = [
     "AllOf", "AnyOf", "Event", "Interrupt", "Process", "SimulationError",
     "Simulator", "Timeout",
     "RngStream", "SeedSequence",
     "CPU", "Disk", "Request", "Resource", "Store",
-    "Cdf", "Counter", "TimeSeries", "summarize",
+    "Cdf", "Counter", "KernelStats", "TimeSeries", "summarize",
 ]

@@ -17,6 +17,26 @@ Design notes
 * A :class:`Process` is itself an :class:`Event` that succeeds with the
   generator's return value, so processes can wait on each other.
 
+Hot path
+--------
+The overwhelmingly common step in the mail-server workloads is "process
+yields a :class:`Timeout`, timeout fires, process resumes".  The engine keeps
+that path allocation-free where it can:
+
+* :meth:`Simulator.timeout` reuses :class:`Timeout` objects from a free list
+  instead of constructing a fresh event per yield.  A timeout is returned to
+  the pool only when the run loop can prove (via the CPython reference count)
+  that nothing else — a condition, a process, user code — still references
+  it, so recycling is invisible to the API.  Pass ``timeout_pool=0`` to
+  disable pooling entirely; results are bit-identical either way.
+* :meth:`Process._step` dispatches on ``(value, exception)`` arguments
+  instead of allocating a closure per resume, and yielded timeouts are wired
+  to the process without going through the generic callback machinery.
+* The heap sequence number is a plain integer increment rather than
+  ``itertools.count``.
+* :meth:`Simulator.run` inlines the single-callback common case and counts
+  events/steps and wall time, exposed via :meth:`Simulator.kernel_stats`.
+
 Example
 -------
 >>> sim = Simulator()
@@ -34,8 +54,13 @@ Example
 from __future__ import annotations
 
 import heapq
-import itertools
+import os
+import sys
+from collections import deque
+from time import perf_counter
 from typing import Any, Callable, Generator, Iterable, Optional
+
+from .stats import KernelStats
 
 __all__ = [
     "Event",
@@ -47,6 +72,18 @@ __all__ = [
     "SimulationError",
     "Simulator",
 ]
+
+#: default free-list capacity for pooled :class:`Timeout` objects; override
+#: per-simulator with ``Simulator(timeout_pool=...)`` or globally via the
+#: ``REPRO_SIM_TIMEOUT_POOL`` environment variable (0 disables pooling).
+DEFAULT_TIMEOUT_POOL = int(os.environ.get("REPRO_SIM_TIMEOUT_POOL", "1024"))
+
+# Pooling relies on CPython reference counts to prove a timeout is unreachable
+# before recycling it; on runtimes without refcounts we simply never recycle.
+_getrefcount = getattr(sys, "getrefcount", None)
+
+_heappush = heapq.heappush
+_heappop = heapq.heappop
 
 
 class SimulationError(Exception):
@@ -70,9 +107,15 @@ class Event:
     An event starts *pending*, is *triggered* exactly once with either a value
     (:meth:`succeed`) or an exception (:meth:`fail`), and then has its
     callbacks run by the simulator at the scheduled time.
+
+    ``_waiter`` carries the single process suspended on this event — the
+    dominant case — letting the run loop resume it directly instead of going
+    through the callback list.  Additional subscribers (conditions, a second
+    process) still use ``callbacks`` and run after the waiter, preserving
+    subscription order.
     """
 
-    __slots__ = ("sim", "callbacks", "_value", "_ok", "_scheduled")
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_scheduled", "_waiter")
 
     #: sentinel for "not yet triggered"
     _PENDING = object()
@@ -83,6 +126,7 @@ class Event:
         self._value: Any = Event._PENDING
         self._ok: bool = True
         self._scheduled = False
+        self._waiter: Optional["Process"] = None
 
     # -- state ------------------------------------------------------------
     @property
@@ -109,7 +153,7 @@ class Event:
     # -- triggering -------------------------------------------------------
     def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
         """Trigger the event successfully with ``value`` after ``delay``."""
-        if self.triggered:
+        if self._value is not Event._PENDING:
             raise SimulationError(f"{self!r} has already been triggered")
         self._value = value
         self._ok = True
@@ -121,7 +165,7 @@ class Event:
 
         A process waiting on the event will have the exception thrown into it.
         """
-        if self.triggered:
+        if self._value is not Event._PENDING:
             raise SimulationError(f"{self!r} has already been triggered")
         if not isinstance(exception, BaseException):
             raise TypeError("fail() requires an exception instance")
@@ -145,6 +189,9 @@ class Event:
         state = "processed" if self.processed else (
             "triggered" if self.triggered else "pending")
         return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+_PENDING = Event._PENDING
 
 
 class Timeout(Event):
@@ -183,13 +230,11 @@ class Process(Event):
         self.generator = generator
         self.name = name or getattr(generator, "__name__", "process")
         self._target: Optional[Event] = None
-        self._interrupts: list[Interrupt] = []
+        self._interrupts: deque[Interrupt] = deque()
         self._had_waiter = False
-        # Kick the process off via an immediately-scheduled initialisation
-        # event so it starts *inside* the run loop at the current time.
-        init = Event(sim)
-        init.succeed(None)
-        init.add_callback(self._resume)
+        # Kick the process off via an immediately-firing timeout (pooled)
+        # so it starts *inside* the run loop at the current time.
+        sim.timeout(0.0).callbacks.append(self._resume)
 
     @property
     def is_alive(self) -> bool:
@@ -214,54 +259,128 @@ class Process(Event):
         if self.triggered:
             raise SimulationError(f"cannot interrupt finished {self.name!r}")
         self._interrupts.append(Interrupt(cause))
-        wakeup = Event(self.sim)
-        wakeup.succeed(None)
-        wakeup.add_callback(self._resume)
+        self.sim.timeout(0.0).callbacks.append(self._resume)
 
     # -- engine internals ---------------------------------------------------
     def _resume(self, trigger: Event) -> None:
-        if self.triggered:
+        """Resume the generator after ``trigger`` fired.
+
+        This is the kernel's innermost function — one call per process step —
+        so the dominant send path is fully inlined here rather than split
+        across helper calls; :meth:`_step` handles the rare throw cases.
+        """
+        if self._value is not _PENDING:
             return  # already finished (e.g. interrupt raced with completion)
         if self._interrupts:
-            interrupt = self._interrupts.pop(0)
-            self._detach()
-            self._step(lambda: self.generator.throw(interrupt))
-        elif trigger is self._target or self._target is None:
+            interrupt = self._interrupts.popleft()
             self._target = None
-            if not trigger.ok:
-                self._step(lambda: self.generator.throw(trigger.value))
+            self._step(None, interrupt)
+            return
+        target = self._target
+        if target is not None and trigger is not target:
+            return  # stale wakeup for an event we no longer wait on
+        self._target = None
+        if not trigger._ok:
+            self._step(None, trigger._value)
+            return
+        sim = self.sim
+        sim.steps_executed += 1
+        sim._active_process = self
+        try:
+            target = self.generator.send(trigger._value)
+        except StopIteration as stop:
+            sim._active_process = None
+            self._finish_ok(stop.value)
+            return
+        except BaseException as error:
+            sim._active_process = None
+            self._finish_fail(error)
+            return
+        sim._active_process = None
+        if target.__class__ is Timeout and target.sim is sim:
+            # The single dominant case: park this process in the timeout's
+            # waiter slot so the run loop resumes it without callback
+            # machinery.
+            callbacks = target.callbacks
+            if callbacks is None:       # already processed — fire immediately
+                self._resume(target)
+            elif not callbacks and target._waiter is None:
+                target._waiter = self
+                self._target = target
             else:
-                self._step(lambda: self.generator.send(trigger.value))
-        # else: stale wakeup for an event we no longer wait on — ignore.
+                self._target = target
+                callbacks.append(self._resume)
+            return
+        self._wire(target)
 
     def _detach(self) -> None:
         """Forget the event we were waiting on (used on interrupt)."""
         self._target = None
 
-    def _step(self, advance: Callable[[], Any]) -> None:
-        self.sim._active_process = self
+    def _step(self, value: Any, exc: Optional[BaseException]) -> None:
+        """Advance the generator one step (throw path; sends are inlined in
+        :meth:`_resume`).
+
+        ``exc`` is ``None`` to send ``value`` and an exception instance to
+        throw — passing both through one call avoids allocating a closure
+        per resume, which dominated the old hot path.
+        """
+        sim = self.sim
+        sim.steps_executed += 1
+        sim._active_process = self
         try:
-            target = advance()
+            if exc is None:
+                target = self.generator.send(value)
+            else:
+                target = self.generator.throw(exc)
         except StopIteration as stop:
+            sim._active_process = None
             self._finish_ok(stop.value)
             return
-        except BaseException as exc:
-            self._finish_fail(exc)
+        except BaseException as error:
+            sim._active_process = None
+            self._finish_fail(error)
             return
-        finally:
-            self.sim._active_process = None
+        sim._active_process = None
+        if target.__class__ is Timeout and target.sim is sim:
+            callbacks = target.callbacks
+            if callbacks is None:
+                self._resume(target)
+            elif not callbacks and target._waiter is None:
+                target._waiter = self
+                self._target = target
+            else:
+                self._target = target
+                callbacks.append(self._resume)
+            return
+        self._wire(target)
+
+    def _wire(self, target: Any) -> None:
+        """Subscribe to a yielded non-timeout target (or fail on a bad one)."""
         if not isinstance(target, Event):
-            exc = SimulationError(
-                f"process {self.name!r} yielded non-event {target!r}")
-            self._finish_fail(exc)
+            self._finish_fail(SimulationError(
+                f"process {self.name!r} yielded non-event {target!r}"))
             return
         if target.sim is not self.sim:
             self._finish_fail(SimulationError(
                 f"process {self.name!r} yielded an event from another "
                 "simulator"))
             return
-        self._target = target
-        target.add_callback(self._resume)
+        if isinstance(target, Process):
+            # processes track waiters (unhandled-failure audit) — go through
+            # their add_callback override
+            self._target = target
+            target.add_callback(self._resume)
+            return
+        callbacks = target.callbacks
+        if callbacks is None:           # already processed — fire immediately
+            self._resume(target)
+        elif not callbacks and target._waiter is None:
+            target._waiter = self       # run-loop inline resume
+            self._target = target
+        else:
+            self._target = target
+            callbacks.append(self._resume)
 
     def _finish_ok(self, value: Any) -> None:
         self._value = value
@@ -340,18 +459,51 @@ class AllOf(_Condition):
 
 
 class Simulator:
-    """The event loop: a priority queue of events over simulated time."""
+    """The event loop: a priority queue of events over simulated time.
 
-    def __init__(self):
+    ``timeout_pool`` bounds the :class:`Timeout` free list (0 disables
+    pooling; the default comes from :data:`DEFAULT_TIMEOUT_POOL`).  Pooling
+    is purely an allocation optimisation — event ordering and results are
+    identical with it on or off.
+    """
+
+    __slots__ = ("now", "_heap", "_seq", "_active_process", "_unhandled",
+                 "_pool_max", "_timeout_pool", "events_processed",
+                 "steps_executed", "wall_seconds")
+
+    def __init__(self, timeout_pool: Optional[int] = None):
         self.now: float = 0.0
         self._heap: list = []
-        self._sequence = itertools.count()
+        self._seq: int = 0
         self._active_process: Optional[Process] = None
         self._unhandled: list[tuple[Process, BaseException]] = []
+        if timeout_pool is None:
+            timeout_pool = DEFAULT_TIMEOUT_POOL
+        self._pool_max: int = timeout_pool if _getrefcount is not None else 0
+        self._timeout_pool: list[Timeout] = []
+        # kernel instrumentation (see kernel_stats())
+        self.events_processed: int = 0
+        self.steps_executed: int = 0
+        self.wall_seconds: float = 0.0
 
     # -- public API ---------------------------------------------------------
     def timeout(self, delay: float, value: Any = None) -> Timeout:
-        """Return an event firing ``delay`` seconds from now."""
+        """Return an event firing ``delay`` seconds from now.
+
+        Reuses a pooled :class:`Timeout` when one is free — the hot path of
+        every simulated process.
+        """
+        pool = self._timeout_pool
+        if pool:
+            if delay < 0:
+                raise SimulationError(f"negative timeout delay: {delay!r}")
+            timeout = pool.pop()
+            timeout.delay = delay
+            timeout._value = value
+            timeout._ok = True
+            seq = self._seq = self._seq + 1
+            _heappush(self._heap, (self.now + delay, seq, timeout))
+            return timeout
         return Timeout(self, delay, value)
 
     def event(self) -> Event:
@@ -373,26 +525,150 @@ class Simulator:
         """The process currently being stepped, if any."""
         return self._active_process
 
+    def kernel_stats(self) -> KernelStats:
+        """Engine throughput counters: events/steps processed, wall time."""
+        return KernelStats(events=self.events_processed,
+                           steps=self.steps_executed,
+                           wall_seconds=self.wall_seconds,
+                           pooled_timeouts=len(self._timeout_pool))
+
     def run(self, until: Optional[float] = None) -> None:
         """Run until the heap drains or simulated time reaches ``until``.
 
         Raises the first unhandled process exception, if any occurred.
         """
-        while self._heap:
-            time, _, _, event = self._heap[0]
-            if until is not None and time > until:
-                break
-            heapq.heappop(self._heap)
-            self.now = time
-            callbacks, event.callbacks = event.callbacks, None
-            for callback in callbacks or ():
-                callback(event)
-            if self._unhandled:
-                process, exc = self._unhandled[0]
-                # A process waiting on the failed process counts as handling.
-                raise SimulationError(
-                    f"unhandled exception in process {process.name!r}: "
-                    f"{exc!r}") from exc
+        limit = float("inf") if until is None else until
+        heap = self._heap
+        heappop = _heappop
+        unhandled = self._unhandled
+        pool = self._timeout_pool
+        pool_max = self._pool_max
+        getrefcount = _getrefcount
+        events = 0
+        steps = 0
+        wall0 = perf_counter()
+        try:
+            while heap:
+                if heap[0][0] > limit:
+                    break
+                time, _, event = heappop(heap)
+                self.now = time
+                events += 1
+                if event.__class__ is Timeout:
+                    waiter = event._waiter
+                    callbacks = event.callbacks
+                    event.callbacks = None
+                    if waiter is not None:
+                        event._waiter = None
+                        if (waiter._target is event
+                                and waiter._value is _PENDING
+                                and not waiter._interrupts):
+                            # Inlined Process resume (send path): one process
+                            # sleeping on one timeout is the workload's
+                            # dominant event, so it runs with no intermediate
+                            # frames at all.  Timeouts never fail, so no _ok
+                            # check is needed here.
+                            waiter._target = None
+                            steps += 1
+                            self._active_process = waiter
+                            try:
+                                target = waiter.generator.send(event._value)
+                            except StopIteration as stop:
+                                self._active_process = None
+                                waiter._finish_ok(stop.value)
+                            except BaseException as error:
+                                self._active_process = None
+                                waiter._finish_fail(error)
+                            else:
+                                self._active_process = None
+                                if (target.__class__ is Timeout
+                                        and target.sim is self
+                                        and target._waiter is None):
+                                    cbs = target.callbacks
+                                    if cbs is not None and not cbs:
+                                        target._waiter = waiter
+                                        waiter._target = target
+                                    else:
+                                        waiter._wire(target)
+                                else:
+                                    waiter._wire(target)
+                        elif waiter._value is _PENDING and waiter._interrupts:
+                            waiter._resume(event)
+                        # else: stale — waiter moved on or finished
+                    if callbacks:
+                        for callback in callbacks:
+                            callback(event)
+                    # Recycle the timeout when provably unreachable: the only
+                    # references left are the loop local and getrefcount's
+                    # argument.  Anything else (a condition's child list, a
+                    # variable in user code) keeps the object alive and
+                    # unpooled.
+                    if (len(pool) < pool_max and getrefcount(event) == 2):
+                        if callbacks is not None:
+                            callbacks.clear()
+                            event.callbacks = callbacks
+                        else:
+                            event.callbacks = []
+                        pool.append(event)
+                else:
+                    waiter = event._waiter
+                    callbacks = event.callbacks
+                    event.callbacks = None
+                    if waiter is not None:
+                        event._waiter = None
+                        if (waiter._target is event
+                                and waiter._value is _PENDING
+                                and not waiter._interrupts):
+                            # Same inlined resume for generic events (resource
+                            # grants, store slots), which unlike timeouts may
+                            # carry a failure.
+                            waiter._target = None
+                            if event._ok:
+                                steps += 1
+                                self._active_process = waiter
+                                try:
+                                    target = waiter.generator.send(event._value)
+                                except StopIteration as stop:
+                                    self._active_process = None
+                                    waiter._finish_ok(stop.value)
+                                except BaseException as error:
+                                    self._active_process = None
+                                    waiter._finish_fail(error)
+                                else:
+                                    self._active_process = None
+                                    if (target.__class__ is Timeout
+                                            and target.sim is self
+                                            and target._waiter is None):
+                                        cbs = target.callbacks
+                                        if cbs is not None and not cbs:
+                                            target._waiter = waiter
+                                            waiter._target = target
+                                        else:
+                                            waiter._wire(target)
+                                    else:
+                                        waiter._wire(target)
+                            else:
+                                waiter._step(None, event._value)
+                        elif waiter._value is _PENDING and waiter._interrupts:
+                            waiter._resume(event)
+                        # else: stale — waiter moved on or finished
+                    if callbacks:
+                        if len(callbacks) == 1:
+                            callbacks[0](event)
+                        else:
+                            for callback in callbacks:
+                                callback(event)
+                if unhandled:
+                    process, exc = unhandled[0]
+                    # A process waiting on the failed process counts as
+                    # handling.
+                    raise SimulationError(
+                        f"unhandled exception in process {process.name!r}: "
+                        f"{exc!r}") from exc
+        finally:
+            self.events_processed += events
+            self.steps_executed += steps
+            self.wall_seconds += perf_counter() - wall0
         if until is not None and self.now < until:
             self.now = until
 
@@ -401,12 +677,12 @@ class Simulator:
         return self._heap[0][0] if self._heap else float("inf")
 
     # -- engine internals -----------------------------------------------------
-    def _schedule(self, event: Event, delay: float, priority: int = 0) -> None:
+    def _schedule(self, event: Event, delay: float) -> None:
         if event._scheduled:
             raise SimulationError(f"{event!r} scheduled twice")
         event._scheduled = True
-        heapq.heappush(
-            self._heap, (self.now + delay, priority, next(self._sequence), event))
+        seq = self._seq = self._seq + 1
+        _heappush(self._heap, (self.now + delay, seq, event))
 
     def _note_failure(self, process: Process, exc: BaseException) -> None:
         """Abort the run for a failed process unless somebody is waiting on it.

@@ -21,7 +21,6 @@ All blocking calls return events to be ``yield``-ed from a process body.
 from __future__ import annotations
 
 import heapq
-import itertools
 from collections import deque
 from typing import Any, Optional
 
@@ -40,7 +39,14 @@ class Request(Event):
     __slots__ = ("resource", "cancelled", "priority")
 
     def __init__(self, resource: "Resource", priority: int = 0):
-        super().__init__(resource.sim)
+        # flattened Event.__init__ — requests are created once per simulated
+        # resource acquisition, squarely on the kernel hot path
+        self.sim = resource.sim
+        self.callbacks = []
+        self._value = Event._PENDING
+        self._ok = True
+        self._scheduled = False
+        self._waiter = None
         self.resource = resource
         self.cancelled = False
         self.priority = priority
@@ -81,7 +87,7 @@ class Resource:
         # waiting requests ordered by (priority, arrival); FIFO within a
         # priority class -- lower priority value is served first
         self._queue: list = []
-        self._seq = itertools.count()
+        self._seq = 0
         # statistics
         self.total_requests = 0
         self.total_waits = 0  # requests that had to queue
@@ -108,7 +114,8 @@ class Resource:
             self._grant(req)
         else:
             self.total_waits += 1
-            heapq.heappush(self._queue, (priority, next(self._seq), req))
+            self._seq += 1
+            heapq.heappush(self._queue, (priority, self._seq, req))
         return req
 
     def release(self, request: Request) -> None:
@@ -117,16 +124,28 @@ class Resource:
             raise SimulationError("releasing a request of another resource")
         if not request.triggered:
             raise SimulationError("releasing a request that was never granted")
-        self.in_use -= 1
-        if self.in_use < 0:
+        in_use = self.in_use = self.in_use - 1
+        if in_use < 0:
             raise SimulationError(f"double release on resource {self.name!r}")
-        self._pump()
+        queue = self._queue
+        while queue and self.in_use < self.capacity:
+            _, _, req = heapq.heappop(queue)
+            if not req.cancelled:
+                self._grant(req)
 
     def _grant(self, request: Request) -> None:
-        self.in_use += 1
-        if self.in_use > self.peak_in_use:
-            self.peak_in_use = self.in_use
-        request.succeed(request)
+        """Hand a unit to ``request`` — inlined succeed + schedule, one grant
+        per simulated resource acquisition."""
+        in_use = self.in_use = self.in_use + 1
+        if in_use > self.peak_in_use:
+            self.peak_in_use = in_use
+        # request is freshly created or just popped off the wait queue, so
+        # the succeed()/_schedule() already-triggered guards cannot fire
+        request._value = request
+        sim = self.sim
+        request._scheduled = True
+        seq = sim._seq = sim._seq + 1
+        heapq.heappush(sim._heap, (sim.now, seq, request))
 
     def _pump(self) -> None:
         while self._queue and self.in_use < self.capacity:
@@ -271,18 +290,23 @@ class CPU:
         ``priority`` follows :meth:`Resource.request`: lower is scheduled
         first, modelling the OS boosting interactive/I/O-bound processes.
         """
-        req = self._res.request(priority)
+        res = self._res
+        req = res.request(priority)
         yield req
-        core = self._next_core
-        self._next_core = (self._next_core + 1) % self.cores
+        if self.cores == 1:
+            core = 0
+        else:
+            core = self._next_core
+            self._next_core = (core + 1) % self.cores
         cost = work
-        if self._last_pid[core] != pid:
+        last = self._last_pid
+        if last[core] != pid:
             cost += self.context_switch_cost
             self.context_switches += 1
-            self._last_pid[core] = pid
+            last[core] = pid
         self.busy_time += cost
         yield self.sim.timeout(cost)
-        self._res.release(req)
+        res.release(req)
 
     def fork(self, pid: int):
         """Process-body generator: charge for an OS fork by ``pid``."""

@@ -14,7 +14,46 @@ import math
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Optional, Sequence
 
-__all__ = ["Counter", "Cdf", "TimeSeries", "summarize"]
+__all__ = ["Counter", "Cdf", "TimeSeries", "KernelStats", "summarize"]
+
+
+@dataclass
+class KernelStats:
+    """Engine throughput counters reported by ``Simulator.kernel_stats()``.
+
+    ``events`` is the number of heap entries processed, ``steps`` the number
+    of generator resumes, and ``wall_seconds`` the real time spent inside
+    ``Simulator.run``.  The rates make kernel regressions visible without a
+    profiler: every figure experiment is bounded by events/sec.
+    """
+
+    events: int = 0
+    steps: int = 0
+    wall_seconds: float = 0.0
+    pooled_timeouts: int = 0
+
+    @property
+    def events_per_sec(self) -> float:
+        return self.events / self.wall_seconds if self.wall_seconds else 0.0
+
+    @property
+    def steps_per_sec(self) -> float:
+        return self.steps / self.wall_seconds if self.wall_seconds else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "events": float(self.events),
+            "steps": float(self.steps),
+            "wall_seconds": self.wall_seconds,
+            "events_per_sec": self.events_per_sec,
+            "steps_per_sec": self.steps_per_sec,
+            "pooled_timeouts": float(self.pooled_timeouts),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"KernelStats(events={self.events}, steps={self.steps}, "
+                f"wall={self.wall_seconds:.3f}s, "
+                f"{self.events_per_sec:,.0f} ev/s)")
 
 
 class Counter:

@@ -12,6 +12,7 @@
 from .botnet import BotnetModel, BotnetPrefix
 from .ecn import EcnBounceSeries, EcnDay
 from .io import load_trace, save_trace
+from .memo import cached_sinkhole, cached_univ, clear_trace_memo
 from .record import (Connection, MailAttempt, RecipientAttempt, Trace,
                      TraceStats, interarrival_cdfs, prefix24, prefix25)
 from .sinkhole import RcptModel, SinkholeConfig, SinkholeTraceGenerator
@@ -24,6 +25,7 @@ __all__ = [
     "BotnetModel", "BotnetPrefix",
     "EcnBounceSeries", "EcnDay",
     "load_trace", "save_trace",
+    "cached_sinkhole", "cached_univ", "clear_trace_memo",
     "Connection", "MailAttempt", "RecipientAttempt", "Trace", "TraceStats",
     "interarrival_cdfs", "prefix24", "prefix25",
     "RcptModel", "SinkholeConfig", "SinkholeTraceGenerator",

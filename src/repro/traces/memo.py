@@ -1,0 +1,54 @@
+"""Process-local memoization of generated traces.
+
+Five experiments (Table 1, Figs. 4, 12, 13, 15, the §6.3/§8 runs) all start
+from the same deterministic sinkhole generation; without a memo each one
+regenerates it from scratch.  Generation is pure — a fixed config always
+produces the same trace — and the simulators only *read* traces, so sharing
+one instance per ``(generator, n)`` within a process is safe.
+
+The memo is process-local on purpose: with ``repro-experiments --jobs N``
+each worker process builds its own copies, which keeps traces out of the
+fork/pickle path entirely.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from .sinkhole import SinkholeConfig, SinkholeTraceGenerator
+from .univ import UnivConfig, UnivTraceGenerator
+
+__all__ = ["cached_sinkhole", "cached_univ", "clear_trace_memo"]
+
+_sinkhole_memo: Dict[int, tuple] = {}
+_univ_memo: Dict[int, object] = {}
+
+
+def cached_sinkhole(n: int) -> Tuple[object, list]:
+    """``(trace, botnet_prefixes)`` for a sinkhole generation scaled to ``n``.
+
+    Callers must treat the returned objects as read-only; copy before
+    mutating (e.g. via :func:`repro.traces.with_bounces`).
+    """
+    cached = _sinkhole_memo.get(n)
+    if cached is None:
+        generator = SinkholeTraceGenerator(SinkholeConfig().scaled(n))
+        prefixes = generator.botnet()
+        cached = (generator.generate(prefixes), prefixes)
+        _sinkhole_memo[n] = cached
+    return cached
+
+
+def cached_univ(n: int):
+    """The Univ trace scaled to ``n`` connections (read-only, see above)."""
+    trace = _univ_memo.get(n)
+    if trace is None:
+        trace = UnivTraceGenerator(UnivConfig().scaled(n)).generate()
+        _univ_memo[n] = trace
+    return trace
+
+
+def clear_trace_memo() -> None:
+    """Drop all memoized traces (tests; long-lived sessions)."""
+    _sinkhole_memo.clear()
+    _univ_memo.clear()

@@ -4,12 +4,34 @@ The paper emulates DNS caching with "a 24-hour expiration time for the
 DNSBL query replies since in practice these lists are updated rather
 infrequently" (§7.2).  :class:`TtlCache` is clock-agnostic: pass simulated
 or wall-clock timestamps.
+
+Every cache keeps its own :class:`CacheStats`; when tracing is enabled the
+constructor additionally binds the ``dnsbl.cache.*`` contract counters from
+the capture-level registry, so ``repro-experiments --trace`` exports
+hit/miss/expiry/evict totals without the hot path ever paying for a
+disabled tracer:
+
+>>> from repro.obs import capture
+>>> with capture() as tr:
+...     cache = TtlCache(ttl=10.0)
+...     cache.put("k", 1, now=0.0)
+...     cache.get("k", now=5.0)
+...     cache.get("other", now=5.0) is None
+1
+True
+>>> tr.registry.counter("dnsbl.cache.hits").value
+1
+>>> tr.registry.counter("dnsbl.cache.misses").value
+1
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
 from typing import Any, Optional
+
+from ..obs.contract import declare
+from ..obs.trace import active_registry
 
 __all__ = ["TtlCache", "CacheStats"]
 
@@ -60,6 +82,14 @@ class TtlCache:
         self.max_entries = max_entries
         self.stats = CacheStats()
         self._entries: OrderedDict[Any, tuple[float, Any]] = OrderedDict()
+        reg = active_registry()
+        if reg is not None:
+            self._c_hits = declare(reg, "dnsbl.cache.hits")
+            self._c_misses = declare(reg, "dnsbl.cache.misses")
+            self._c_expirations = declare(reg, "dnsbl.cache.expirations")
+            self._c_evictions = declare(reg, "dnsbl.cache.evictions")
+        else:
+            self._c_hits = None
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -69,15 +99,22 @@ class TtlCache:
         entry = self._entries.get(key)
         if entry is None:
             self.stats.misses += 1
+            if self._c_hits is not None:
+                self._c_misses.inc()
             return None
         stored_at, value = entry
         if now - stored_at > self.ttl:
             del self._entries[key]
             self.stats.expirations += 1
             self.stats.misses += 1
+            if self._c_hits is not None:
+                self._c_expirations.inc()
+                self._c_misses.inc()
             return None
         self._entries.move_to_end(key)
         self.stats.hits += 1
+        if self._c_hits is not None:
+            self._c_hits.inc()
         return value
 
     def peek(self, key: Any, now: float) -> Optional[Any]:
@@ -95,6 +132,8 @@ class TtlCache:
         while len(self._entries) > self.max_entries:
             self._entries.popitem(last=False)
             self.stats.evictions += 1
+            if self._c_hits is not None:
+                self._c_evictions.inc()
 
     def purge_expired(self, now: float) -> int:
         """Drop all expired entries; returns how many were dropped."""
@@ -103,6 +142,8 @@ class TtlCache:
         for key in expired:
             del self._entries[key]
         self.stats.expirations += len(expired)
+        if expired and self._c_hits is not None:
+            self._c_expirations.inc(len(expired))
         return len(expired)
 
     def clear(self) -> None:

@@ -21,6 +21,8 @@ from dataclasses import dataclass
 from typing import Optional, Protocol
 
 from ..errors import DnsError
+from ..obs.contract import declare
+from ..obs.trace import active_registry
 from ..sim.random import RngStream
 from .bitmap import (bitmap_bit_for_ip, bitmap_test, ip_query_name,
                      prefix_query_name, split_ip)
@@ -108,6 +110,15 @@ class DnsblResolver:
         self.rng = rng or RngStream(7)
         self.queries_sent = 0
         self.lookups = 0
+        reg = active_registry()
+        if reg is not None:
+            self._c_wire = declare(reg, "dnsbl.wire.queries")
+            self._c_prefix_fills = (declare(reg, "dnsbl.cache.prefix_fills")
+                                    if getattr(strategy, "name", "") ==
+                                    "prefix" else None)
+        else:
+            self._c_wire = None
+            self._c_prefix_fills = None
 
     @property
     def cache_stats(self) -> CacheStats:
@@ -135,6 +146,11 @@ class DnsblResolver:
                 cache_hit=True, latency=0.0)
         query = self.strategy.query(ip, self.server.zone.origin)
         self.queries_sent += 1
+        if self._c_wire is not None:
+            self._c_wire.inc()
+            if self._c_prefix_fills is not None:
+                # one wire miss fills the whole /25 bitmap into the cache
+                self._c_prefix_fills.inc()
         # Round-trip through the wire codec for fidelity with the UDP stack.
         response = DnsMessage.decode(self.server.handle_wire(query.encode()))
         value = self.strategy.interpret(ip, response)

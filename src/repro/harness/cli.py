@@ -7,6 +7,8 @@ Examples::
     repro-experiments --scale full --jobs 4 --write-md EXPERIMENTS.md
     repro-experiments --clear-cache
     repro-experiments fig8 --profile
+    repro-experiments fig8 --trace fig8.jsonl
+    repro-experiments trace-report fig8.jsonl
 """
 
 from __future__ import annotations
@@ -14,6 +16,8 @@ from __future__ import annotations
 import argparse
 import sys
 
+from ..obs.export import read_trace, write_trace
+from ..obs.report import trace_report
 from .cache import ResultCache
 from .experiment import Scale
 from .figures import EXPERIMENTS
@@ -29,7 +33,8 @@ def build_parser() -> argparse.ArgumentParser:
         description="Reproduce the tables and figures of the spam-aware "
                     "mail server paper (ICDCS 2009).")
     parser.add_argument("experiments", nargs="*",
-                        help="experiment ids to run (default: all)")
+                        help="experiment ids to run (default: all), or "
+                             "'trace-report FILE' to summarise a trace")
     parser.add_argument("--scale", choices=(Scale.QUICK, Scale.FULL),
                         default=Scale.QUICK,
                         help="quick smoke runs or full published-number runs")
@@ -48,6 +53,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--profile", action="store_true",
                         help="run one experiment under cProfile and dump "
                              "<id>-<scale>.prof (implies --jobs 1, no cache)")
+    parser.add_argument("--trace", metavar="OUT", default=None,
+                        help="capture spans + metrics while running and "
+                             "write them to OUT (.jsonl or .csv; bypasses "
+                             "the result cache)")
     return parser
 
 
@@ -69,7 +78,29 @@ def _profile_one(exp_id: str, scale: str) -> int:
     return 0 if result.all_anchors_hold else 1
 
 
+def _trace_report_cmd(argv: list[str]) -> int:
+    """``repro-experiments trace-report FILE``: summarise a trace file."""
+    if len(argv) != 1:
+        print("usage: repro-experiments trace-report FILE", file=sys.stderr)
+        return 2
+    try:
+        records = read_trace(argv[0])
+    except OSError as exc:
+        print(f"cannot read trace: {exc}", file=sys.stderr)
+        return 2
+    text, all_ok = trace_report(records)
+    print(text)
+    if not all_ok:
+        print("trace does not reconcile with its metrics", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv=None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "trace-report":
+        return _trace_report_cmd(list(argv[1:]))
     args = build_parser().parse_args(argv)
     if args.list:
         for exp_id, cls in EXPERIMENTS.items():
@@ -95,9 +126,10 @@ def main(argv=None) -> int:
             return 2
         return _profile_one(chosen[0], args.scale)
 
-    cache = None if args.no_cache else ResultCache()
+    # a cached result carries no spans, so tracing always runs fresh
+    cache = None if (args.no_cache or args.trace) else ResultCache()
     outcomes = run_experiments(chosen, args.scale, jobs=args.jobs,
-                               cache=cache)
+                               cache=cache, traced=args.trace is not None)
     results = []
     failures = 0
     for outcome in outcomes:
@@ -109,6 +141,10 @@ def main(argv=None) -> int:
         print(render_result(result))
         print()
         failures += sum(1 for a in result.anchors if not a.holds)
+    if args.trace:
+        n = write_trace(args.trace,
+                        (r for o in outcomes for r in o.records))
+        print(f"wrote {n} trace record(s) to {args.trace}")
     if args.write_md:
         write_experiments_md(results, args.write_md)
         print(f"wrote {args.write_md}")

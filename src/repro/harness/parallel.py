@@ -9,15 +9,21 @@ which worker finishes first, so ``--jobs 4`` output is byte-identical to
 Each worker process regenerates its own traces via the process-local memo
 (:mod:`repro.traces.memo`); nothing heavier than the experiment id and the
 finished :class:`ExperimentResult` dataclasses crosses the process boundary.
+
+With ``traced=True`` each experiment runs inside its own
+:func:`repro.obs.capture` — the same code path serially and in the pool, so
+run/connection ids restart per experiment and the merged trace (experiments
+concatenated in request order) is byte-identical at any ``--jobs``.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
+from ..obs.trace import capture
 from .cache import ResultCache
 from .experiment import ExperimentResult
 
@@ -31,24 +37,34 @@ class RunOutcome:
     result: ExperimentResult
     elapsed: float
     cached: bool
+    records: list = field(default_factory=list)  # trace records (traced runs)
 
 
 def _run_one(task: tuple) -> tuple:
     """Pool worker: run one experiment (top-level for pickling)."""
     from .figures import EXPERIMENTS
 
-    exp_id, scale = task
+    exp_id, scale, traced = task
     start = time.perf_counter()
-    result = EXPERIMENTS[exp_id]().run(scale=scale)
-    return exp_id, result, time.perf_counter() - start
+    if traced:
+        with capture(context={"exp": exp_id}) as tr:
+            result = EXPERIMENTS[exp_id]().run(scale=scale)
+        records = list(tr.records())
+    else:
+        result = EXPERIMENTS[exp_id]().run(scale=scale)
+        records = []
+    return exp_id, result, time.perf_counter() - start, records
 
 
 def run_experiments(exp_ids: Sequence[str], scale: str, jobs: int = 1,
-                    cache: Optional[ResultCache] = None) -> list[RunOutcome]:
+                    cache: Optional[ResultCache] = None,
+                    traced: bool = False) -> list[RunOutcome]:
     """Run ``exp_ids`` at ``scale`` with up to ``jobs`` worker processes.
 
     Cached results are returned without running anything; fresh results are
     written back to ``cache``.  The returned list matches ``exp_ids`` order.
+    ``traced=True`` captures a trace per experiment (bypass the cache to
+    trace everything — cached results carry no records).
     """
     outcomes: dict[str, RunOutcome] = {}
     pending: list[str] = []
@@ -60,16 +76,16 @@ def run_experiments(exp_ids: Sequence[str], scale: str, jobs: int = 1,
             pending.append(exp_id)
 
     if pending:
-        tasks = [(exp_id, scale) for exp_id in pending]
+        tasks = [(exp_id, scale, traced) for exp_id in pending]
         if jobs > 1 and len(pending) > 1:
             with multiprocessing.Pool(min(jobs, len(pending))) as pool:
                 finished = pool.map(_run_one, tasks)
         else:
             finished = [_run_one(task) for task in tasks]
-        for exp_id, result, elapsed in finished:
+        for exp_id, result, elapsed, records in finished:
             if cache is not None:
                 cache.put(result)
             outcomes[exp_id] = RunOutcome(result=result, elapsed=elapsed,
-                                          cached=False)
+                                          cached=False, records=records)
 
     return [outcomes[exp_id] for exp_id in exp_ids]

@@ -10,6 +10,26 @@ it interchangeably with mbox/maildir/hardlink.  The I/O accounting mirrors
 * multi-recipient mail → append payload **once** to ``shmailbox_data`` +
   one refcounted tuple to ``shmailbox_key`` + one 32-byte ``(id, offset,
   -1)`` tuple per recipient mailbox.
+
+With tracing enabled the store counts single vs shared deliveries, dedup
+hits and payload sizes under the ``mfs.*`` contract names:
+
+>>> import tempfile
+>>> from repro.obs import capture
+>>> from repro.smtp.address import Address
+>>> from repro.smtp.message import MailMessage
+>>> with tempfile.TemporaryDirectory() as tmp, capture() as tr:
+...     with MfsStore(tmp) as store:
+...         mail = MailMessage(
+...             mail_id="AA00", sender=Address.parse("a@example.org"),
+...             recipients=[Address.parse("u1@dest.example"),
+...                         Address.parse("u2@dest.example")],
+...             body=b"hello")
+...         n_ops = len(store.deliver(mail))
+>>> tr.registry.counter("mfs.deliver.shared").value
+1
+>>> tr.registry.counter("mfs.dedup.hits").value
+0
 """
 
 from __future__ import annotations
@@ -17,6 +37,8 @@ from __future__ import annotations
 from pathlib import Path
 
 from ..errors import MfsError, StorageError
+from ..obs.contract import declare
+from ..obs.trace import active_registry
 from ..smtp.message import MailMessage
 from ..storage.base import MailboxStore, StoredMail
 from ..storage.diskmodel import IoKind, IoOp
@@ -39,6 +61,14 @@ class MfsStore(MailboxStore):
         # dot-directory only reachable through this store
         self.shared = SharedMailbox(self.root / ".shared")
         self._open: dict[str, MailFile] = {}
+        reg = active_registry()
+        if reg is not None:
+            self._c_single = declare(reg, "mfs.deliver.single")
+            self._c_shared = declare(reg, "mfs.deliver.shared")
+            self._c_dedup = declare(reg, "mfs.dedup.hits")
+            self._h_payload = declare(reg, "mfs.payload.bytes")
+        else:
+            self._c_single = None
 
     # -- handle management ----------------------------------------------------
     def open_mailbox(self, mailbox: str, mode: str = "a") -> MailFile:
@@ -69,6 +99,12 @@ class MfsStore(MailboxStore):
         if len(set(mailboxes)) != len(mailboxes):
             raise StorageError(
                 f"duplicate recipient mailboxes in mail {message.mail_id!r}")
+        if self._c_single is not None:
+            self._h_payload.observe(len(payload))
+            if len(mailboxes) == 1:
+                self._c_single.inc()
+            else:
+                self._c_shared.inc()
         if len(mailboxes) == 1:
             handle = self.open_mailbox(mailboxes[0])
             handle.write(message.mail_id, payload)
@@ -90,6 +126,8 @@ class MfsStore(MailboxStore):
         ops: list[IoOp] = []
         was_present = mail_id in self.shared
         self.shared.add(mail_id, payload, refcount=len(mailboxes))
+        if was_present and self._c_single is not None:
+            self._c_dedup.inc()
         if was_present:
             # dedup hit: only the refcount moved (§6.2's skip)
             ops.append(IoOp(IoKind.UPDATE, KEY_RECORD_SIZE,

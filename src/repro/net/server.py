@@ -24,6 +24,8 @@ import asyncio
 from dataclasses import dataclass, field
 from typing import Awaitable, Callable, Optional
 
+from ..obs.contract import declare
+from ..obs.trace import active_registry
 from ..smtp.address import Address
 from ..smtp.constants import SessionOutcome
 from ..smtp.fsm import (AcceptedMail, CloseSession, SendReply, ServerSession,
@@ -106,6 +108,13 @@ class SmtpServer:
         self._queues: list[asyncio.Queue] = []
         self._rr = 0
         self._delivery_failures = 0
+        reg = active_registry()
+        if reg is not None:
+            self._c_conns = declare(reg, "net.connections")
+            self._c_handoffs = declare(reg, "net.handoffs")
+            self._g_depth = declare(reg, "net.queue.depth")
+        else:
+            self._c_conns = None
 
     # -- lifecycle -----------------------------------------------------------
     async def start(self) -> tuple[str, int]:
@@ -151,6 +160,8 @@ class SmtpServer:
     async def _on_connection(self, reader: asyncio.StreamReader,
                              writer: asyncio.StreamWriter) -> None:
         self.stats.connections += 1
+        if self._c_conns is not None:
+            self._c_conns.inc()
         peer = writer.get_extra_info("peername") or ("?", 0)
         session = ServerSession(
             self.config.hostname, self.validator, mail_ids=self.mail_ids,
@@ -221,6 +232,8 @@ class SmtpServer:
             await self._perform(actions, writer)
             if trusted:
                 self.stats.handoffs += 1
+                if self._c_conns is not None:
+                    self._c_handoffs.inc()
                 await self._dispatch(session, reader, writer)
                 return True
         return False
@@ -235,11 +248,17 @@ class SmtpServer:
             if not queue.full():
                 self._rr = (self._rr + i + 1) % n
                 queue.put_nowait((session, reader, writer))
+                self._note_queue_depth()
                 return
         # every buffer full: the finite queues throttle the master
         queue = self._queues[self._rr]
         self._rr = (self._rr + 1) % n
         await queue.put((session, reader, writer))
+        self._note_queue_depth()
+
+    def _note_queue_depth(self) -> None:
+        if self._c_conns is not None:
+            self._g_depth.set(sum(q.qsize() for q in self._queues))
 
     async def _worker_loop(self, queue: asyncio.Queue) -> None:
         """One smtpd worker: finish delegated sessions, one at a time."""

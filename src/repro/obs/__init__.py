@@ -1,0 +1,45 @@
+"""``repro.obs`` — the unified observability layer.
+
+A span-based tracer plus a typed metrics registry, threaded through every
+hot path of the reproduction: the DES kernel, the simulated mail server's
+connection lifecycle (accept → envelope → trust → fork/delegate → DATA →
+close), the MFS write/refcount paths, the DNSBL cache, and the asyncio
+server's task queues.  The set of spans and metrics that may ever be
+emitted is fixed by the contract in :mod:`repro.obs.contract` and
+documented name-for-name in ``docs/OBSERVABILITY.md`` (a test diffs the
+two).
+
+Tracing is off by default and adds nothing to the hot paths when off;
+enable it with :func:`capture` (or ``repro-experiments --trace OUT``):
+
+>>> from repro.obs import MetricsRegistry, capture, tracer
+>>> reg = MetricsRegistry()
+>>> reg.counter("demo.connections").inc(3)
+>>> reg.counter("demo.connections").value
+3
+>>> tracer().enabled                    # disabled outside capture()
+False
+>>> with capture(context={"exp": "demo"}) as tr:
+...     run = tr.begin_run(arch="hybrid")
+...     tr.emit(run, conn=1, phase="envelope", t0=0.0, t1=1.5,
+...             attrs={"outcome": "trusted"})
+...     tr.span_count
+1
+>>> next(tr.records())["type"]
+'meta'
+"""
+
+from .contract import METRICS, SPANS, declare
+from .export import read_trace, write_trace
+from .metrics import (Counter, Gauge, Histogram, MetricsRegistry, ObsError)
+from .report import reconcile, trace_report
+from .trace import (NULL_TRACER, NullTracer, Tracer, active_registry,
+                    capture, tracer)
+
+__all__ = [
+    "Counter", "Gauge", "Histogram", "MetricsRegistry", "ObsError",
+    "METRICS", "SPANS", "declare",
+    "Tracer", "NullTracer", "NULL_TRACER", "tracer", "active_registry",
+    "capture",
+    "write_trace", "read_trace", "trace_report", "reconcile",
+]

@@ -1,0 +1,187 @@
+"""The instrumentation contract: every span and metric the repo may emit.
+
+This module is the machine-readable half of ``docs/OBSERVABILITY.md``.  A
+tracer refuses to emit a span whose phase is not declared here, metric
+registration helpers pull units and help strings from here, and
+``tests/test_obs.py`` diffs the tables in the doc against these dicts —
+so an instrument cannot be added, renamed or dropped without the
+documentation moving in lockstep.
+
+Units follow a small closed vocabulary: ``count`` (monotonic totals),
+``seconds``, ``bytes`` and ``tasks`` (queue depths).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .metrics import MetricsRegistry, ObsError
+
+__all__ = ["SpanSpec", "MetricSpec", "SPANS", "METRICS", "declare"]
+
+
+@dataclass(frozen=True)
+class SpanSpec:
+    """One span phase: its attribute names and what it covers."""
+
+    help: str
+    attrs: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class MetricSpec:
+    """One metric: kind, unit, and (for histograms) bucket parameters."""
+
+    kind: str                      # "counter" | "gauge" | "histogram"
+    unit: str
+    help: str
+    #: histogram bucket parameters (ignored for counters/gauges)
+    buckets: dict = field(default_factory=dict)
+    #: wall-clock-derived values are excluded from exported traces so that
+    #: serial and ``--jobs N`` runs stay byte-identical
+    deterministic: bool = True
+
+
+#: Span phases over the simulated connection lifecycle.  Every span record
+#: carries ``(conn, phase, t0, t1, attrs)`` in simulated seconds plus the
+#: run id of the server that emitted it.
+SPANS: dict[str, SpanSpec] = {
+    "connection": SpanSpec(
+        "One SMTP connection, master accept to close.  Emitted when the "
+        "session finishes; in-flight sessions at the end of a run have no "
+        "span, matching the connections.finished counter exactly.",
+        attrs=("outcome",)),      # accepted | bounce | unfinished | rejected
+    "envelope": SpanSpec(
+        "Banner -> HELO -> (DNSBL) -> MAIL/RCPT until the first valid "
+        "recipient, a bounce, or an unfinished/rejected end.",
+        attrs=("mode", "outcome")),   # mode: event | process
+    "dnsbl": SpanSpec(
+        "One blacklist check at connect time, including the wire wait on "
+        "a cache miss.",
+        attrs=("cache_hit", "listed")),
+    "fork": SpanSpec(
+        "The master forking a fresh smtpd worker (vanilla architecture "
+        "only; fork-after-trust reuses its long-lived pool)."),
+    "delegate": SpanSpec(
+        "Fork-after-trust handoff: delegation cost plus any blocking on "
+        "the bounded master->worker task socket (section 5.3).",
+        attrs=("queue_depth",)),
+    "data": SpanSpec(
+        "One DATA transaction: command, body transfer, queue-file write, "
+        "250 reply.  One span per accepted mail.",
+        attrs=("bytes",)),
+    "delivery": SpanSpec(
+        "Queue manager + local delivery of one accepted mail to all its "
+        "recipient mailboxes.",
+        attrs=("rcpts", "bytes")),
+}
+
+
+METRICS: dict[str, MetricSpec] = {
+    # -- simulated server (one registry per MailServerSim run) -------------
+    "server.connections.started": MetricSpec(
+        "counter", "count", "Connections the master accepted."),
+    "server.connections.finished": MetricSpec(
+        "counter", "count", "Connections that ran to completion."),
+    "server.connections.rejected": MetricSpec(
+        "counter", "count", "Connections rejected at connect (DNSBL)."),
+    "server.connections.bounce": MetricSpec(
+        "counter", "count", "Connections whose every recipient bounced."),
+    "server.connections.unfinished": MetricSpec(
+        "counter", "count", "Connections abandoned before any MAIL FROM."),
+    "server.mails.accepted": MetricSpec(
+        "counter", "count", "Good mails queued — the goodput unit (5.4)."),
+    "server.mailbox.writes": MetricSpec(
+        "counter", "count",
+        "Per-recipient mailbox deliveries completed (Figs. 10/11 unit)."),
+    "server.rcpts.accepted": MetricSpec(
+        "counter", "count", "RCPT TO commands answered 250."),
+    "server.rcpts.rejected": MetricSpec(
+        "counter", "count", "RCPT TO commands bounced."),
+    "server.dnsbl.lookups": MetricSpec(
+        "counter", "count", "Blacklist checks performed."),
+    "server.dnsbl.queries": MetricSpec(
+        "counter", "count", "Checks that missed cache and hit the wire."),
+    "server.dnsbl.rejects": MetricSpec(
+        "counter", "count", "Connections rejected as blacklisted."),
+    "server.run.seconds": MetricSpec(
+        "gauge", "seconds", "Measurement window the rates divide by."),
+    "server.cpu.context_switches": MetricSpec(
+        "gauge", "count", "CPU context switches charged (5.4)."),
+    "server.cpu.forks": MetricSpec(
+        "gauge", "count", "OS forks charged."),
+    "server.cpu.busy_seconds": MetricSpec(
+        "gauge", "seconds", "Simulated seconds the CPU was busy."),
+    "server.disk.busy_seconds": MetricSpec(
+        "gauge", "seconds", "Simulated seconds the disk was busy."),
+    "server.session.seconds": MetricSpec(
+        "histogram", "seconds", "Session phase durations (see _finish).",
+        buckets={"low": 1e-4, "high": 1e3, "per_decade": 10}),
+    "server.dnsbl.lookup.seconds": MetricSpec(
+        "histogram", "seconds", "DNSBL lookup latency (0 on cache hits).",
+        buckets={"low": 1e-6, "high": 1e2, "per_decade": 10}),
+    # -- DES kernel (capture-level registry) --------------------------------
+    "kernel.events": MetricSpec(
+        "counter", "count", "Event-heap entries processed by Simulator.run."),
+    "kernel.steps": MetricSpec(
+        "counter", "count", "Generator resumes executed by Simulator.run."),
+    "kernel.wall_seconds": MetricSpec(
+        "counter", "seconds", "Real time spent inside Simulator.run.",
+        deterministic=False),
+    # -- DNSBL cache (capture-level; aggregated over all resolvers) ---------
+    "dnsbl.cache.hits": MetricSpec(
+        "counter", "count", "TTL-cache hits (Fig. 15 numerator)."),
+    "dnsbl.cache.misses": MetricSpec(
+        "counter", "count", "TTL-cache misses (includes expiries)."),
+    "dnsbl.cache.expirations": MetricSpec(
+        "counter", "count", "Entries dropped because their TTL lapsed."),
+    "dnsbl.cache.evictions": MetricSpec(
+        "counter", "count", "Entries evicted by the LRU bound."),
+    "dnsbl.cache.prefix_fills": MetricSpec(
+        "counter", "count",
+        "Cache fills of a /25 bitmap — one fill covers 128 neighbours "
+        "(7.1), the mechanism behind the prefix strategy's hit rate."),
+    "dnsbl.wire.queries": MetricSpec(
+        "counter", "count", "DNS queries actually sent by resolvers."),
+    # -- MFS store (capture-level; real-filesystem path) --------------------
+    "mfs.deliver.single": MetricSpec(
+        "counter", "count", "Single-recipient deliveries (private mailbox)."),
+    "mfs.deliver.shared": MetricSpec(
+        "counter", "count",
+        "Multi-recipient deliveries stored once in the shared mailbox."),
+    "mfs.dedup.hits": MetricSpec(
+        "counter", "count",
+        "nwrite calls whose payload was already shared — only the "
+        "refcount moved (6.2)."),
+    "mfs.payload.bytes": MetricSpec(
+        "histogram", "bytes", "Payload size per delivered mail.",
+        buckets={"low": 64.0, "high": 1e8, "per_decade": 5}),
+    # -- asyncio server (capture-level) -------------------------------------
+    "net.connections": MetricSpec(
+        "counter", "count", "TCP connections accepted by SmtpServer."),
+    "net.handoffs": MetricSpec(
+        "counter", "count", "Sessions delegated to a worker after trust."),
+    "net.queue.depth": MetricSpec(
+        "gauge", "tasks",
+        "Total tasks queued on the master->worker sockets; the peak shows "
+        "how hard the finite buffers throttled the master (5.3)."),
+}
+
+
+def declare(registry: MetricsRegistry, name: str):
+    """Register ``name`` on ``registry`` with its contract kind and unit.
+
+    The one sanctioned way for instrumented modules to create a metric:
+    an undeclared name raises, keeping the emitted set and the documented
+    set identical by construction.
+    """
+    spec = METRICS.get(name)
+    if spec is None:
+        raise ObsError(f"metric {name!r} is not in the instrumentation "
+                       "contract (repro.obs.contract.METRICS)")
+    if spec.kind == "counter":
+        return registry.counter(name, unit=spec.unit, help=spec.help)
+    if spec.kind == "gauge":
+        return registry.gauge(name, unit=spec.unit, help=spec.help)
+    return registry.histogram(name, unit=spec.unit, help=spec.help,
+                              **spec.buckets)

@@ -1,0 +1,80 @@
+"""Trace serialisation: JSONL (default) and CSV.
+
+The on-disk format is line-oriented so multi-gigabyte traces stream; the
+writer is deterministic (sorted keys, compact separators) so a serial run
+and a ``--jobs N`` run of the same experiments produce byte-identical
+files — asserted by ``tests/test_obs.py``.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Iterable, Union
+
+__all__ = ["write_trace", "read_trace"]
+
+_CSV_COLUMNS = ("type", "exp", "run", "conn", "phase", "t0", "t1",
+                "attrs", "metrics", "version")
+
+
+def write_trace(path: Union[str, Path], records: Iterable[dict]) -> int:
+    """Write ``records`` to ``path``; format chosen by suffix.
+
+    ``.csv`` writes one row per record with JSON-encoded ``attrs`` and
+    ``metrics`` cells; anything else writes JSON Lines.  Returns the
+    number of records written.
+    """
+    path = Path(path)
+    n = 0
+    if path.suffix.lower() == ".csv":
+        with path.open("w", newline="") as fh:
+            writer = csv.DictWriter(fh, fieldnames=_CSV_COLUMNS,
+                                    extrasaction="ignore")
+            writer.writeheader()
+            for record in records:
+                row = dict(record)
+                for key in ("attrs", "metrics"):
+                    if key in row:
+                        row[key] = json.dumps(row[key], sort_keys=True,
+                                              separators=(",", ":"))
+                writer.writerow(row)
+                n += 1
+        return n
+    with path.open("w") as fh:
+        for record in records:
+            fh.write(json.dumps(record, sort_keys=True,
+                                separators=(",", ":")))
+            fh.write("\n")
+            n += 1
+    return n
+
+
+def read_trace(path: Union[str, Path]) -> list[dict]:
+    """Read a trace written by :func:`write_trace` back into dicts."""
+    path = Path(path)
+    records: list[dict] = []
+    if path.suffix.lower() == ".csv":
+        with path.open(newline="") as fh:
+            for row in csv.DictReader(fh):
+                record: dict = {}
+                for key, value in row.items():
+                    if value is None or value == "":
+                        continue
+                    if key in ("attrs", "metrics"):
+                        record[key] = json.loads(value)
+                    elif key in ("run", "conn", "version"):
+                        record[key] = int(value)
+                    elif key in ("t0", "t1"):
+                        record[key] = float(value)
+                    else:
+                        record[key] = value
+                records.append(record)
+        return records
+    with path.open() as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records

@@ -1,0 +1,233 @@
+"""Typed metrics: counters, gauges, and log-bucketed histograms.
+
+The registry is the single source of truth for every number the
+reproduction reports: :class:`~repro.server.metrics.ServerMetrics` stores
+its counters here, the DES kernel publishes its event/step totals here,
+and the DNSBL cache, MFS store and asyncio server register their own
+instruments when an observability capture is active.
+
+Three instrument kinds, chosen so that merged multi-process traces stay
+deterministic:
+
+* :class:`Counter` — a monotonically increasing total (``inc``).
+* :class:`Gauge` — a point-in-time level (``set``); remembers its peak.
+* :class:`Histogram` — **fixed log-spaced buckets** (``per_decade``
+  buckets per power of ten between ``low`` and ``high``).  The edges are
+  a pure function of the constructor arguments, never of the data, so
+  two processes observing the same samples produce identical dumps.
+
+>>> reg = MetricsRegistry()
+>>> reg.counter("demo.connections").inc()
+>>> reg.counter("demo.connections").inc(2)
+>>> reg.counter("demo.connections").value
+3
+>>> h = reg.histogram("demo.latency", unit="seconds")
+>>> h.observe(0.004)
+>>> h.count, round(h.percentile(50), 6) >= 0.004
+(1, True)
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Optional, Union
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "ObsError"]
+
+
+class ObsError(Exception):
+    """Raised for illegal uses of the observability API."""
+
+
+class Counter:
+    """A monotonically increasing total.
+
+    ``value`` is assignable only so the timed harness can rebase a
+    snapshot onto a steady-state window; instrumented code must only
+    :meth:`inc`.
+    """
+
+    __slots__ = ("name", "unit", "help", "value")
+
+    kind = "counter"
+
+    def __init__(self, name: str, unit: str = "1", help: str = ""):
+        self.name = name
+        self.unit = unit
+        self.help = help
+        self.value: Union[int, float] = 0
+
+    def inc(self, amount: Union[int, float] = 1) -> None:
+        self.value += amount
+
+    def dump(self) -> Union[int, float]:
+        return self.value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self.name}={self.value})"
+
+
+class Gauge:
+    """A point-in-time level; tracks the peak it ever reached."""
+
+    __slots__ = ("name", "unit", "help", "value", "peak")
+
+    kind = "gauge"
+
+    def __init__(self, name: str, unit: str = "1", help: str = ""):
+        self.name = name
+        self.unit = unit
+        self.help = help
+        self.value: Union[int, float] = 0
+        self.peak: Union[int, float] = 0
+
+    def set(self, value: Union[int, float]) -> None:
+        self.value = value
+        if value > self.peak:
+            self.peak = value
+
+    def dump(self) -> dict:
+        return {"value": self.value, "peak": self.peak}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Gauge({self.name}={self.value}, peak={self.peak})"
+
+
+class Histogram:
+    """A histogram over fixed log-spaced buckets.
+
+    Bucket edges are ``low * 10**(k / per_decade)`` for ``k = 0..n`` where
+    ``n`` spans ``low``..``high`` — a pure function of the constructor
+    arguments, so dumps from different processes are mergeable and
+    byte-identical for identical sample streams.
+
+    ``counts[0]`` holds observations ``<= edges[0]``; ``counts[i]`` holds
+    ``edges[i-1] < v <= edges[i]``; the final slot holds the overflow
+    ``v > edges[-1]``.
+
+    >>> h = Histogram("t", unit="seconds", low=1e-3, high=1.0, per_decade=1)
+    >>> h.edges
+    (0.001, 0.01, 0.1, 1.0)
+    >>> for v in (0.0005, 0.001, 0.005, 2.0):
+    ...     h.observe(v)
+    >>> h.counts
+    [2, 1, 0, 0, 1]
+    """
+
+    __slots__ = ("name", "unit", "help", "edges", "counts", "count", "sum")
+
+    kind = "histogram"
+
+    def __init__(self, name: str, unit: str = "seconds", low: float = 1e-6,
+                 high: float = 1e3, per_decade: int = 10,
+                 help: str = ""):
+        if low <= 0 or high <= low:
+            raise ObsError(f"need 0 < low < high, got {low!r}, {high!r}")
+        if per_decade < 1:
+            raise ObsError(f"per_decade must be >= 1, got {per_decade!r}")
+        self.name = name
+        self.unit = unit
+        self.help = help
+        edges = []
+        k = 0
+        while True:
+            edge = low * 10.0 ** (k / per_decade)
+            edges.append(edge)
+            if edge >= high:
+                break
+            k += 1
+        self.edges: tuple[float, ...] = tuple(edges)
+        self.counts: list[int] = [0] * (len(edges) + 1)
+        self.count = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect.bisect_left(self.edges, value)] += 1
+        self.count += 1
+        self.sum += value
+
+    def percentile(self, q: float) -> float:
+        """Upper bucket edge covering the ``q``-th percentile (nearest rank).
+
+        Returns ``inf`` when the rank falls in the overflow bucket and the
+        lowest edge for the underflow bucket — a conservative upper bound
+        in both log-bucket resolution and direction.
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ObsError(f"percentile out of range: {q!r}")
+        if self.count == 0:
+            raise ObsError(f"empty histogram {self.name!r}")
+        rank = max(1, -(-q * self.count // 100))  # ceil without math import
+        seen = 0
+        for i, c in enumerate(self.counts):
+            seen += c
+            if seen >= rank:
+                return self.edges[i] if i < len(self.edges) else float("inf")
+        return float("inf")  # pragma: no cover - ranks always <= count
+
+    def mean(self) -> float:
+        if self.count == 0:
+            raise ObsError(f"empty histogram {self.name!r}")
+        return self.sum / self.count
+
+    def dump(self) -> dict:
+        """Compact dump: only non-zero buckets, keyed by bucket index."""
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "buckets": [[i, c] for i, c in enumerate(self.counts) if c],
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Histogram({self.name}, n={self.count}, sum={self.sum:g})"
+
+
+class MetricsRegistry:
+    """A named collection of instruments.
+
+    Registration is idempotent — asking for an existing name returns the
+    existing instrument — but re-registering a name as a different kind is
+    an error (the instrumentation contract in :mod:`repro.obs.contract`
+    fixes each name's kind).
+    """
+
+    def __init__(self):
+        self._metrics: dict[str, Union[Counter, Gauge, Histogram]] = {}
+
+    def _register(self, cls, name: str, **kwargs):
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if not isinstance(existing, cls):
+                raise ObsError(
+                    f"metric {name!r} already registered as "
+                    f"{existing.kind}, not {cls.kind}")
+            return existing
+        metric = cls(name, **kwargs)
+        self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str, unit: str = "1", help: str = "") -> Counter:
+        return self._register(Counter, name, unit=unit, help=help)
+
+    def gauge(self, name: str, unit: str = "1", help: str = "") -> Gauge:
+        return self._register(Gauge, name, unit=unit, help=help)
+
+    def histogram(self, name: str, unit: str = "seconds", low: float = 1e-6,
+                  high: float = 1e3, per_decade: int = 10,
+                  help: str = "") -> Histogram:
+        return self._register(Histogram, name, unit=unit, low=low, high=high,
+                              per_decade=per_decade, help=help)
+
+    def get(self, name: str) -> Optional[Union[Counter, Gauge, Histogram]]:
+        return self._metrics.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def names(self) -> list[str]:
+        return sorted(self._metrics)
+
+    def as_dict(self, skip: tuple[str, ...] = ()) -> dict:
+        """Deterministic dump of every instrument, sorted by name."""
+        return {name: self._metrics[name].dump()
+                for name in sorted(self._metrics) if name not in skip}

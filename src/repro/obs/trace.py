@@ -1,0 +1,197 @@
+"""Span tracer and the process-wide observability runtime.
+
+Tracing is **off by default and zero-overhead when off**: instrumented
+modules look the runtime up once at construction time (``tracer()`` /
+``active_registry()``) and store ``None`` when it is disabled, so their
+hot paths carry nothing but an ``is not None`` test that always fails.
+The DES kernel goes further — it publishes its counters once per
+``Simulator.run`` call, never per event, so even an *enabled* tracer adds
+no per-event work.
+
+Enable tracing with the :func:`capture` context manager; the harness does
+this around each experiment for ``repro-experiments --trace``:
+
+>>> with capture(context={"exp": "demo"}) as tr:
+...     run = tr.begin_run(arch="hybrid")
+...     tr.emit(run, 1, "envelope", 0.0, 1.5, {"outcome": "trusted"})
+>>> [r["phase"] for r in tr.records() if r["type"] == "span"]
+['envelope']
+>>> tracer() is NULL_TRACER
+True
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Iterator, Optional
+
+from .contract import METRICS, SPANS, declare
+from .metrics import MetricsRegistry, ObsError
+
+__all__ = ["Tracer", "NullTracer", "NULL_TRACER", "tracer",
+           "active_registry", "capture"]
+
+#: trace file format version, stamped into every meta record
+TRACE_VERSION = 1
+
+
+class Tracer:
+    """Collects span, run and metrics records for one capture.
+
+    A *run* is one instrumented server instance; experiments that build
+    several servers (e.g. the Figure 8 bounce-ratio sweep) produce one run
+    per server, numbered in construction order, so merged traces are
+    deterministic.  ``registry`` is the capture-level registry that
+    process-wide instruments (kernel, DNSBL cache, MFS, net) attach to.
+    """
+
+    enabled = True
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None,
+                 context: Optional[dict] = None):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.context = dict(context or {})
+        self._runs: list[tuple[int, dict]] = []
+        self._spans: list[tuple] = []
+        self._metrics: list[tuple[int, dict]] = []
+        self._next_run = 0
+        self._kernel_events = declare(self.registry, "kernel.events")
+        self._kernel_steps = declare(self.registry, "kernel.steps")
+        self._kernel_wall = declare(self.registry, "kernel.wall_seconds")
+
+    def set_context(self, **attrs: Any) -> None:
+        """Attach ``attrs`` (e.g. the experiment id) to every record."""
+        self.context.update(attrs)
+
+    def begin_run(self, **attrs: Any) -> int:
+        """Open a new run (one server instance); returns its id."""
+        self._next_run += 1
+        self._runs.append((self._next_run, attrs))
+        return self._next_run
+
+    def emit(self, run: int, conn: int, phase: str, t0: float, t1: float,
+             attrs: Optional[dict] = None) -> None:
+        """Record one completed span.  ``phase`` must be in the contract."""
+        if phase not in SPANS:
+            raise ObsError(f"span phase {phase!r} is not in the "
+                           "instrumentation contract (repro.obs.contract)")
+        self._spans.append((run, conn, phase, t0, t1, attrs))
+
+    def emit_metrics(self, run: int, dump: dict) -> None:
+        """Attach a metrics-registry dump to ``run``."""
+        self._metrics.append((run, dump))
+
+    def note_kernel(self, events: int, steps: int, wall: float) -> None:
+        """Called by ``Simulator.run`` (once per call) with its totals."""
+        self._kernel_events.inc(events)
+        self._kernel_steps.inc(steps)
+        self._kernel_wall.inc(wall)
+
+    @property
+    def span_count(self) -> int:
+        return len(self._spans)
+
+    def records(self) -> Iterator[dict]:
+        """Yield the capture as JSON-ready dicts, deterministically ordered.
+
+        Order: one ``meta`` header, the ``run`` records in id order, every
+        ``span`` in emission order (simulation order, hence deterministic),
+        per-run ``metrics`` dumps, and the capture-level registry dump as a
+        final ``metrics`` record with ``run = 0``.  Metrics whose contract
+        entry is marked non-deterministic (wall-clock readings) are
+        excluded so serial and ``--jobs N`` traces are byte-identical.
+        """
+        yield {"type": "meta", "version": TRACE_VERSION, **self.context}
+        for run, attrs in self._runs:
+            yield {"type": "run", "run": run, "attrs": attrs, **self.context}
+        for run, conn, phase, t0, t1, attrs in self._spans:
+            record = {"type": "span", "run": run, "conn": conn,
+                      "phase": phase, "t0": t0, "t1": t1, **self.context}
+            if attrs:
+                record["attrs"] = attrs
+            yield record
+        nondet = tuple(name for name, spec in METRICS.items()
+                       if not spec.deterministic)
+        for run, dump in self._metrics:
+            yield {"type": "metrics", "run": run, "metrics": dump,
+                   **self.context}
+        capture_dump = self.registry.as_dict(skip=nondet)
+        if any(_nonzero(v) for v in capture_dump.values()):
+            yield {"type": "metrics", "run": 0, "metrics": capture_dump,
+                   **self.context}
+
+
+def _nonzero(dump_value) -> bool:
+    if isinstance(dump_value, dict):
+        return bool(dump_value.get("count") or dump_value.get("value")
+                    or dump_value.get("peak"))
+    return bool(dump_value)
+
+
+class NullTracer:
+    """The disabled tracer: every operation is a no-op.
+
+    Instrumented modules never call it on their hot paths (they store
+    ``None`` instead), but user code holding ``tracer()`` from a disabled
+    period can still call it safely.
+    """
+
+    enabled = False
+    registry = None
+
+    def set_context(self, **attrs: Any) -> None:
+        pass
+
+    def begin_run(self, **attrs: Any) -> int:
+        return 0
+
+    def emit(self, *args: Any, **kwargs: Any) -> None:
+        pass
+
+    def emit_metrics(self, run: int, dump: dict) -> None:
+        pass
+
+    def note_kernel(self, events: int, steps: int, wall: float) -> None:
+        pass
+
+    @property
+    def span_count(self) -> int:
+        return 0
+
+    def records(self) -> Iterator[dict]:
+        return iter(())
+
+
+NULL_TRACER = NullTracer()
+
+_active: Optional[Tracer] = None
+
+
+def tracer():
+    """The active :class:`Tracer`, or :data:`NULL_TRACER` when disabled.
+
+    Instrumented constructors call this once and keep the result (or
+    ``None``) — never per operation.
+    """
+    return _active if _active is not None else NULL_TRACER
+
+
+def active_registry() -> Optional[MetricsRegistry]:
+    """The capture-level registry, or ``None`` when tracing is disabled."""
+    return _active.registry if _active is not None else None
+
+
+@contextmanager
+def capture(context: Optional[dict] = None):
+    """Enable tracing for the duration of the ``with`` block.
+
+    Captures nest (the inner capture shadows the outer one); objects
+    constructed inside the block attach to the innermost tracer.
+    """
+    global _active
+    previous = _active
+    _active = Tracer(context=context)
+    try:
+        yield _active
+    finally:
+        _active = previous

@@ -19,6 +19,13 @@ reach smtpd processes — exactly the delta between the paper's Figs. 6 and 7:
 The OS-process accounting (pids, context switches, forks) is handled by
 :class:`repro.sim.resources.CPU`; mailbox writes are priced by the
 filesystem cost models via the planners in :mod:`repro.server.ioplan`.
+
+When tracing is enabled (``repro.obs.capture``) the server emits one span
+per lifecycle phase — ``connection``, ``envelope``, ``dnsbl``, ``fork``,
+``delegate``, ``data``, ``delivery`` — keyed by a per-server connection id;
+the span catalogue lives in ``docs/OBSERVABILITY.md``.  With tracing off
+(the default) every emission site is behind an ``is not None`` check on an
+attribute that is ``None``, so the simulation pays nothing.
 """
 
 from __future__ import annotations
@@ -27,6 +34,7 @@ import itertools
 from typing import Optional
 
 from ..dnsbl.resolver import DnsblResolver
+from ..obs.trace import tracer
 from ..sim.core import Process, Simulator
 from ..sim.resources import CPU, Disk, Store
 from ..traces.record import Connection, MailAttempt
@@ -64,6 +72,13 @@ class MailServerSim:
         self.resolver = resolver
         self.reject_blacklisted = reject_blacklisted
         self.metrics = ServerMetrics()
+
+        tr = tracer()
+        self._tr = tr if tr.enabled else None
+        self._run = (tr.begin_run(arch=config.architecture,
+                                  storage=config.storage_backend)
+                     if self._tr is not None else 0)
+        self._conn_ids = itertools.count(1)
 
         self.cpu = CPU(sim, cores=1,
                        context_switch_cost=self.costs.context_switch_cost,
@@ -103,18 +118,27 @@ class MailServerSim:
         m.forks = self.cpu.forks
         m.cpu_busy = self.cpu.busy_time
         m.disk_busy = self.disk.busy_time
+        if self._tr is not None:
+            # dumped before any steady-state-window rebasing, so the trace's
+            # aggregate counters match the full-run span stream exactly
+            self._tr.emit_metrics(self._run, m.dump())
         return m
 
     # -------------------------------------------------------- vanilla path --
     def _vanilla_entry(self, conn: Connection):
         """Master side: find or fork an smtpd, then run the session in it."""
         self.metrics.connections_started += 1
+        cid = next(self._conn_ids)
+        t_conn = self.sim.now
         if not self._idle and (len(self._workers) + self._forking
                                < self.config.process_limit):
             # reserve the slot before the fork blocks, so concurrent
             # arrivals cannot overshoot the process limit
             self._forking += 1
+            t_fork = self.sim.now
             yield from self.cpu.fork(MASTER_PID)
+            if self._tr is not None:
+                self._tr.emit(self._run, cid, "fork", t_fork, self.sim.now)
             self._forking -= 1
             worker = _Worker(next(self._pids),
                              Store(self.sim, capacity=1))
@@ -125,9 +149,9 @@ class MailServerSim:
         done = self.sim.event()
         if self._idle:
             worker = self._idle.pop()
-            worker.inbox.try_put((conn, done))
+            worker.inbox.try_put((conn, done, cid, t_conn))
         else:
-            yield self._backlog.put((conn, done))
+            yield self._backlog.put((conn, done, cid, t_conn))
         yield done
 
     def _vanilla_worker_loop(self, worker: _Worker):
@@ -146,9 +170,10 @@ class MailServerSim:
             elif worker in self._idle:
                 # serving straight from the backlog: not dispatchable now
                 self._idle.remove(worker)
-            conn, done = item
+            conn, done, cid, t_conn = item
             worker.served += 1
-            yield from self._run_session(conn, worker.pid, worker.pid)
+            yield from self._run_session(conn, worker.pid, worker.pid,
+                                         cid, t_conn)
             done.succeed(None)
         # recycled: the OS process exits; the master forks afresh on demand.
         # A connection dispatched while we served our last session must not
@@ -159,27 +184,35 @@ class MailServerSim:
             self._idle.remove(worker)
         ok, item = worker.inbox.try_get()
         if ok:
-            conn, done = item
-            yield from self._run_session(conn, worker.pid, worker.pid)
+            conn, done, cid, t_conn = item
+            yield from self._run_session(conn, worker.pid, worker.pid,
+                                         cid, t_conn)
             done.succeed(None)
 
     # --------------------------------------------------------- hybrid path --
     def _hybrid_entry(self, conn: Connection):
         """Master event loop: envelope inline, delegate after trust."""
         self.metrics.connections_started += 1
+        cid = next(self._conn_ids)
+        t_conn = self.sim.now
         outcome = yield from self._run_envelope(conn, MASTER_PID,
-                                                event_mode=True)
+                                                event_mode=True,
+                                                cid=cid, t_conn=t_conn)
         if outcome is None:
             # bounce / unfinished / rejected: fully handled by the master
             return
         mail, remaining = outcome
         # delegate to a worker over a bounded task socket (§5.3)
+        t_deleg = self.sim.now
         yield from self.cpu.compute(MASTER_PID, self.costs.delegation_cost)
         worker = self._pick_hybrid_worker()
-        task = (conn, mail, remaining, self.sim.now)
+        task = (conn, mail, remaining, self.sim.now, cid, t_conn)
         if not worker.inbox.try_put(task):
             # all sockets full: the finite buffers throttle the master
             yield worker.inbox.put(task)
+        if self._tr is not None:
+            self._tr.emit(self._run, cid, "delegate", t_deleg, self.sim.now,
+                          {"queue_depth": len(worker.inbox)})
 
     def _pick_hybrid_worker(self) -> _Worker:
         """Round-robin over the worker pool, growing it up to the limit."""
@@ -205,29 +238,32 @@ class MailServerSim:
 
     def _hybrid_worker_loop(self, worker: _Worker):
         while True:
-            conn, mail, remaining, _t = yield worker.inbox.get()
+            conn, mail, remaining, _t, cid, t_conn = yield worker.inbox.get()
             worker.served += 1
             # the delegated connection now occupies this OS process: pay the
             # per-connection process tax the bounces avoided
             yield from self.cpu.compute(worker.pid,
                                         self.costs.process_dispatch_cost)
-            yield from self._run_data_phase(conn, mail, remaining, worker.pid)
+            yield from self._run_data_phase(conn, mail, remaining, worker.pid,
+                                            cid, t_conn)
 
     # ----------------------------------------------------- session phases --
     def _run_session(self, conn: Connection, envelope_pid: int,
-                     data_pid: int):
+                     data_pid: int, cid: int = 0, t_conn: float = 0.0):
         """The whole SMTP transaction (vanilla: both phases in the worker)."""
         yield from self.cpu.compute(envelope_pid,
                                     self.costs.process_dispatch_cost)
         outcome = yield from self._run_envelope(conn, envelope_pid,
-                                                event_mode=False)
+                                                event_mode=False,
+                                                cid=cid, t_conn=t_conn)
         if outcome is None:
             return
         mail, remaining = outcome
-        yield from self._run_data_phase(conn, mail, remaining, data_pid)
+        yield from self._run_data_phase(conn, mail, remaining, data_pid,
+                                        cid, t_conn)
 
     def _run_envelope(self, conn: Connection, pid: int,
-                      event_mode: bool):
+                      event_mode: bool, cid: int = 0, t_conn: float = 0.0):
         """Banner → HELO → (DNSBL) → MAIL/RCPT until the first valid RCPT.
 
         ``event_mode`` selects the cheap event-loop cost tier (hybrid
@@ -238,6 +274,7 @@ class MailServerSim:
         costs = self.costs
         cpu, sim = self.cpu, self.sim
         t0 = sim.now
+        mode = "event" if event_mode else "process"
         accept_cost = (costs.event_accept_cost if event_mode
                        else costs.accept_cost)
         command_cost = (costs.event_command_cost if event_mode
@@ -247,16 +284,24 @@ class MailServerSim:
         yield sim.timeout(costs.rtt)                     # banner → HELO
         yield from cpu.compute(pid, command_cost)        # HELO
         if self.resolver is not None:
-            rejected = yield from self._dnsbl_check(conn, pid)
+            rejected = yield from self._dnsbl_check(conn, pid, cid)
             if rejected:
-                self._finish(conn, t0, rejected=True)
+                if self._tr is not None:
+                    self._tr.emit(self._run, cid, "envelope", t0, sim.now,
+                                  {"mode": mode, "outcome": "rejected"})
+                self._finish(conn, t0, rejected=True,
+                             cid=cid, t_conn=t_conn, outcome="rejected")
                 return None
         yield sim.timeout(costs.rtt)
 
         if conn.unfinished:
             yield from cpu.compute(pid, command_cost)        # QUIT
             self.metrics.unfinished_connections += 1
-            self._finish(conn, t0)
+            if self._tr is not None:
+                self._tr.emit(self._run, cid, "envelope", t0, sim.now,
+                              {"mode": mode, "outcome": "unfinished"})
+            self._finish(conn, t0, cid=cid, t_conn=t_conn,
+                         outcome="unfinished")
             return None
 
         for index, mail in enumerate(conn.mails):
@@ -272,16 +317,23 @@ class MailServerSim:
                     # fork-after-trust boundary: first valid recipient.
                     # The already-validated recipient plus the rest of this
                     # mail's envelope travel with the delegation.
+                    if self._tr is not None:
+                        self._tr.emit(self._run, cid, "envelope", t0, sim.now,
+                                      {"mode": mode, "outcome": "trusted"})
                     return (_TrustedMail(mail, r_index + 1),
                             conn.mails[index + 1:])
             # every recipient of this mail bounced; next MAIL (if any)
         yield from cpu.compute(pid, command_cost)        # QUIT
         self.metrics.bounce_connections += 1
-        self._finish(conn, t0)
+        if self._tr is not None:
+            self._tr.emit(self._run, cid, "envelope", t0, sim.now,
+                          {"mode": mode, "outcome": "bounce"})
+        self._finish(conn, t0, cid=cid, t_conn=t_conn, outcome="bounce")
         return None
 
     def _run_data_phase(self, conn: Connection, trusted: "_TrustedMail",
-                        remaining: list[MailAttempt], pid: int):
+                        remaining: list[MailAttempt], pid: int,
+                        cid: int = 0, t_conn: float = 0.0):
         """Finish the transaction: rest of the RCPTs, DATA, further mails."""
         costs = self.costs
         cpu, sim = self.cpu, self.sim
@@ -294,7 +346,7 @@ class MailServerSim:
             self.metrics.rcpts_accepted += rcpt.valid
             self.metrics.rcpts_rejected += not rcpt.valid
             yield sim.timeout(costs.rtt)
-        yield from self._receive_data(mail, pid)
+        yield from self._receive_data(mail, pid, cid)
 
         for mail in remaining:
             yield from cpu.compute(pid, costs.command_cost)  # MAIL FROM
@@ -308,13 +360,15 @@ class MailServerSim:
                 yield sim.timeout(costs.rtt)
                 any_valid = any_valid or rcpt.valid
             if any_valid:
-                yield from self._receive_data(mail, pid)
+                yield from self._receive_data(mail, pid, cid)
         yield from cpu.compute(pid, costs.command_cost)  # QUIT
-        self._finish(conn, t0, accepted=True)
+        self._finish(conn, t0, accepted=True,
+                     cid=cid, t_conn=t_conn, outcome="accepted")
 
-    def _receive_data(self, mail: MailAttempt, pid: int):
+    def _receive_data(self, mail: MailAttempt, pid: int, cid: int = 0):
         """DATA command, body transfer, cleanup and queue write."""
         costs = self.costs
+        t0 = self.sim.now
         yield from self.cpu.compute(pid, costs.command_cost)  # DATA
         yield self.sim.timeout(costs.rtt)                     # 354 → body
         yield from self.cpu.compute(
@@ -325,38 +379,53 @@ class MailServerSim:
                                         op.nbytes)
         yield self.sim.timeout(costs.rtt)                     # 250 queued
         self.metrics.mails_accepted += 1
+        if self._tr is not None:
+            self._tr.emit(self._run, cid, "data", t0, self.sim.now,
+                          {"bytes": mail.size})
         if self.config.discard_delivery:
             # sinkhole mode: accept, count, and drop (no mailbox writes)
             return
         n_valid = len(mail.valid_recipients)
-        self.incoming.put((mail.size, n_valid))
+        self.incoming.put((mail.size, n_valid, cid))
 
-    def _dnsbl_check(self, conn: Connection, pid: int):
+    def _dnsbl_check(self, conn: Connection, pid: int, cid: int = 0):
         """Blacklist lookup at connect time; returns True when rejected."""
         costs = self.costs
+        t0 = self.sim.now
         yield from self.cpu.compute(pid, costs.dns_cache_cost)
         # DNS cache emulation (§7.2): the paper replays the two-month trace
         # and emulates cache contents at *trace* time, not replay time
         clock = conn.t if self.config.dnsbl_use_trace_time else self.sim.now
         result = self.resolver.lookup(conn.client_ip, clock)
         self.metrics.dnsbl_lookups += 1
-        self.metrics.lookup_latencies.add(result.latency)
+        self.metrics.observe_lookup(result.latency)
         if not result.cache_hit:
             self.metrics.dnsbl_queries += 1
             yield from self.cpu.compute(
                 pid, costs.dns_query_cost * max(1, result.queries_issued))
             yield self.sim.timeout(result.latency)
+        if self._tr is not None:
+            self._tr.emit(self._run, cid, "dnsbl", t0, self.sim.now,
+                          {"cache_hit": result.cache_hit,
+                           "listed": result.listed})
         if result.listed and self.reject_blacklisted:
             self.metrics.dnsbl_rejects += 1
             return True
         return False
 
     def _finish(self, conn: Connection, t0: float, accepted: bool = False,
-                rejected: bool = False) -> None:
+                rejected: bool = False, cid: int = 0, t_conn: float = 0.0,
+                outcome: str = "accepted") -> None:
         self.metrics.connections_finished += 1
         if rejected:
             self.metrics.connections_rejected += 1
-        self.metrics.session_durations.add(self.sim.now - t0)
+        # the session-duration sample starts at the current *phase* start
+        # (data-phase start for accepted sessions), matching the pre-obs
+        # figures; the connection span covers the whole session (t_conn →)
+        self.metrics.observe_session(self.sim.now - t0)
+        if self._tr is not None:
+            self._tr.emit(self._run, cid, "connection", t_conn, self.sim.now,
+                          {"outcome": outcome})
 
     # ----------------------------------------------------------- delivery --
     def _delivery_loop(self, pid: int):
@@ -373,7 +442,8 @@ class MailServerSim:
         per_write_cpu = (costs.mfs_local_write_cost if backend == "mfs"
                          else costs.local_write_cost)
         while True:
-            size, n_rcpts = yield self.incoming.get()
+            size, n_rcpts, cid = yield self.incoming.get()
+            t0 = self.sim.now
             # I/O-bound delivery agents get scheduler priority over the
             # CPU-hungry smtpd pool, as a real OS scheduler would arrange
             yield from self.cpu.compute(
@@ -383,6 +453,9 @@ class MailServerSim:
                 yield from self.disk.io(self.config.fs_model.cost(op),
                                         op.nbytes)
             self.metrics.mailbox_writes += n_rcpts
+            if self._tr is not None:
+                self._tr.emit(self._run, cid, "delivery", t0, self.sim.now,
+                              {"rcpts": n_rcpts, "bytes": size})
 
 
 class _TrustedMail:

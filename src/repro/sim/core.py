@@ -60,6 +60,7 @@ from collections import deque
 from time import perf_counter
 from typing import Any, Callable, Generator, Iterable, Optional
 
+from ..obs.trace import tracer as _obs_tracer
 from .stats import KernelStats
 
 __all__ = [
@@ -469,7 +470,7 @@ class Simulator:
 
     __slots__ = ("now", "_heap", "_seq", "_active_process", "_unhandled",
                  "_pool_max", "_timeout_pool", "events_processed",
-                 "steps_executed", "wall_seconds")
+                 "steps_executed", "wall_seconds", "_obs")
 
     def __init__(self, timeout_pool: Optional[int] = None):
         self.now: float = 0.0
@@ -485,6 +486,10 @@ class Simulator:
         self.events_processed: int = 0
         self.steps_executed: int = 0
         self.wall_seconds: float = 0.0
+        # observability: counters publish once per run() call, never per
+        # event, so tracing adds no per-event work even when enabled
+        tr = _obs_tracer()
+        self._obs = tr if tr.enabled else None
 
     # -- public API ---------------------------------------------------------
     def timeout(self, delay: float, value: Any = None) -> Timeout:
@@ -668,7 +673,10 @@ class Simulator:
         finally:
             self.events_processed += events
             self.steps_executed += steps
-            self.wall_seconds += perf_counter() - wall0
+            wall = perf_counter() - wall0
+            self.wall_seconds += wall
+            if self._obs is not None:
+                self._obs.note_kernel(events, steps, wall)
         if until is not None and self.now < until:
             self.now = until
 

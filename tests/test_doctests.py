@@ -6,6 +6,10 @@ import pytest
 
 import repro.dnsbl.bitmap
 import repro.dnsbl.cache
+import repro.mfs.store
+import repro.obs
+import repro.obs.metrics
+import repro.obs.trace
 import repro.smtp.address
 import repro.smtp.commands
 import repro.smtp.client_fsm
@@ -18,6 +22,8 @@ import repro.traces.record
 
 MODULES = [
     repro.dnsbl.bitmap, repro.dnsbl.cache,
+    repro.mfs.store,
+    repro.obs, repro.obs.metrics, repro.obs.trace,
     repro.smtp.address, repro.smtp.commands, repro.smtp.client_fsm,
     repro.smtp.message, repro.smtp.replies,
     repro.sim.core, repro.sim.random, repro.sim.resources,

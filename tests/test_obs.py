@@ -1,0 +1,310 @@
+"""Tests for the unified observability layer (repro.obs).
+
+Covers the tentpole guarantees: typed registry semantics, deterministic
+histogram buckets, span nesting inside the simulated server, zero-overhead
+no-op behaviour when disabled, byte-identical traces at any ``--jobs``, the
+span-vs-metrics reconciliation, and the contract ↔ documentation diff.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.clients import ClosedLoopClient
+from repro.core import make_dnsbl_bank
+from repro.harness.cli import main as cli_main
+from repro.harness.parallel import run_experiments
+from repro.obs import (METRICS, NULL_TRACER, Counter, MetricsRegistry,
+                       ObsError, SPANS, capture, read_trace, reconcile,
+                       trace_report, tracer, write_trace)
+from repro.server import MailServerSim, ServerConfig
+from repro.sim import Simulator
+from repro.traces import bounce_sweep_trace
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+# -- registry -----------------------------------------------------------------
+
+class TestRegistry:
+    def test_counter_and_gauge_roundtrip(self):
+        reg = MetricsRegistry()
+        reg.counter("a.count").inc()
+        reg.counter("a.count").inc(4)
+        assert reg.counter("a.count").value == 5
+        reg.gauge("a.depth").set(3.0)
+        reg.gauge("a.depth").set(1.0)
+        gauge = reg.gauge("a.depth")
+        assert gauge.value == 1.0 and gauge.peak == 3.0
+
+    def test_kind_clash_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ObsError):
+            reg.gauge("x")
+
+    def test_as_dict_is_sorted_and_skippable(self):
+        reg = MetricsRegistry()
+        reg.counter("b").inc()
+        reg.counter("a").inc()
+        reg.counter("wall").inc()
+        dump = reg.as_dict(skip=("wall",))
+        assert list(dump) == ["a", "b"]
+
+    def test_declared_metrics_cover_server_and_subsystems(self):
+        prefixes = {name.split(".")[0] for name in METRICS}
+        assert prefixes == {"server", "kernel", "dnsbl", "mfs", "net"}
+
+
+class TestHistogram:
+    def test_bucket_edges_are_pure_function_of_args(self):
+        reg = MetricsRegistry()
+        h1 = reg.histogram("h1", low=1e-3, high=1e3, per_decade=10)
+        reg2 = MetricsRegistry()
+        h2 = reg2.histogram("h1", low=1e-3, high=1e3, per_decade=10)
+        assert h1.edges == h2.edges
+        assert h1.edges[0] == pytest.approx(1e-3)
+        assert h1.edges[-1] >= 1e3
+        # log-spaced: constant ratio between consecutive edges
+        ratios = [h1.edges[i + 1] / h1.edges[i]
+                  for i in range(len(h1.edges) - 1)]
+        assert max(ratios) == pytest.approx(min(ratios))
+
+    def test_underflow_and_overflow_slots(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h", low=1.0, high=100.0, per_decade=1)
+        h.observe(0.5)                   # below the lowest edge
+        h.observe(1e9)                   # above the highest edge
+        assert h.counts[0] == 1
+        assert h.counts[-1] == 1
+        assert h.count == 2
+
+    def test_percentile_nearest_rank(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h", low=1.0, high=1000.0, per_decade=1)
+        for value in (1.5, 2.0, 50.0, 500.0):
+            h.observe(value)
+        # p50 falls in the [1,10) bucket → its upper edge
+        assert h.percentile(50) == pytest.approx(10.0)
+        assert h.percentile(100) == pytest.approx(1000.0)
+
+    def test_dump_lists_only_nonzero_buckets(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h", low=1.0, high=1000.0, per_decade=1)
+        h.observe(5.0)
+        dump = h.dump()
+        assert dump["count"] == 1
+        assert len(dump["buckets"]) == 1
+
+
+# -- runtime ------------------------------------------------------------------
+
+class TestRuntime:
+    def test_disabled_by_default(self):
+        tr = tracer()
+        assert tr is NULL_TRACER and not tr.enabled
+        assert tr.begin_run(arch="hybrid") == 0
+        tr.emit(0, 1, "connection", 0.0, 1.0)
+        assert tr.span_count == 0 and list(tr.records()) == []
+
+    def test_capture_enables_and_restores(self):
+        assert not tracer().enabled
+        with capture() as tr:
+            assert tracer() is tr and tr.enabled
+            with capture() as inner:
+                assert tracer() is inner
+            assert tracer() is tr
+        assert not tracer().enabled
+
+    def test_unknown_phase_rejected(self):
+        with capture() as tr:
+            with pytest.raises(ObsError):
+                tr.emit(1, 1, "warp", 0.0, 1.0)
+
+    def test_wall_clock_metrics_excluded_from_records(self):
+        with capture() as tr:
+            tr.note_kernel(10, 5, 0.125)
+        dumps = [r["metrics"] for r in tr.records() if r["type"] == "metrics"]
+        assert dumps, "kernel counters should produce a capture-level dump"
+        for dump in dumps:
+            assert "kernel.wall_seconds" not in dump
+            assert dump["kernel.events"] == 10
+
+
+# -- server spans -------------------------------------------------------------
+
+def _traced_run(config, n=60, bounce=0.3, unfinished=0.1, resolver=None,
+                **server_kw):
+    trace = bounce_sweep_trace(bounce, n_connections=n,
+                               unfinished_ratio=unfinished)
+    with capture(context={"exp": "unit"}) as tr:
+        sim = Simulator()
+        server = MailServerSim(sim, config, resolver=resolver, **server_kw)
+        client = ClosedLoopClient(sim, server, trace, concurrency=10)
+        client.start()
+        sim.run()
+        server.finalize(sim.now)
+    return server, list(tr.records())
+
+
+class TestServerSpans:
+    def test_hybrid_emits_every_lifecycle_phase(self):
+        server, records = _traced_run(ServerConfig.hybrid())
+        phases = {r["phase"] for r in records if r["type"] == "span"}
+        assert {"connection", "envelope", "delegate", "data",
+                "delivery"} <= phases
+        assert "fork" not in phases       # the hybrid pool never forks
+
+    def test_vanilla_emits_fork_spans(self):
+        server, records = _traced_run(
+            ServerConfig(architecture="vanilla", process_limit=5))
+        forks = [r for r in records
+                 if r["type"] == "span" and r["phase"] == "fork"]
+        assert len(forks) == server.metrics.forks > 0
+
+    def test_session_spans_nest_inside_their_connection(self):
+        server, records = _traced_run(ServerConfig.hybrid())
+        spans = [r for r in records if r["type"] == "span"]
+        conn_bounds = {r["conn"]: (r["t0"], r["t1"]) for r in spans
+                       if r["phase"] == "connection"}
+        nested = [r for r in spans
+                  if r["phase"] in ("envelope", "dnsbl", "delegate", "data")]
+        assert nested
+        for span in nested:
+            t0, t1 = conn_bounds[span["conn"]]
+            assert t0 <= span["t0"] <= span["t1"] <= t1
+        # delivery is asynchronous: it may outlive the connection, but can
+        # never start before it
+        for span in spans:
+            if span["phase"] == "delivery":
+                assert span["t0"] >= conn_bounds[span["conn"]][0]
+
+    def test_connection_outcomes_match_metrics(self):
+        server, records = _traced_run(ServerConfig.hybrid())
+        outcomes = [r["attrs"]["outcome"] for r in records
+                    if r["type"] == "span" and r["phase"] == "connection"]
+        m = server.metrics
+        assert outcomes.count("accepted") == (m.connections_finished
+                                              - m.bounce_connections
+                                              - m.unfinished_connections)
+        assert outcomes.count("bounce") == m.bounce_connections
+        assert outcomes.count("unfinished") == m.unfinished_connections
+
+    def test_disabled_tracing_attaches_nothing(self):
+        sim = Simulator()
+        server = MailServerSim(sim, ServerConfig.hybrid())
+        assert server._tr is None and server._run == 0
+        assert sim._obs is None
+
+    def test_run_records_carry_architecture(self):
+        server, records = _traced_run(ServerConfig.hybrid())
+        runs = [r for r in records if r["type"] == "run"]
+        assert runs[0]["attrs"]["arch"] == "hybrid"
+
+
+# -- reconciliation -----------------------------------------------------------
+
+class TestReconciliation:
+    def test_spans_reconcile_with_metrics(self):
+        trace = bounce_sweep_trace(0.4, n_connections=80,
+                                   unfinished_ratio=0.1)
+        zone_ips = {c.client_ip for c in trace}
+        with capture(context={"exp": "unit"}) as tr:
+            sim = Simulator()
+            config = ServerConfig(architecture="vanilla", process_limit=20,
+                                  dnsbl_mode="ip")
+            server = MailServerSim(sim, config,
+                                   resolver=make_dnsbl_bank(zone_ips, "ip"))
+            client = ClosedLoopClient(sim, server, trace, concurrency=10)
+            client.start()
+            sim.run()
+            server.finalize(sim.now)
+        records = list(tr.records())
+        checks = reconcile(records)
+        labels = {c.label for c in checks}
+        assert {"finished connections", "accepted mails", "dnsbl checks",
+                "mailbox writes", "forks"} <= labels
+        assert all(c.ok for c in checks)
+        text, all_ok = trace_report(records)
+        assert all_ok
+        for heading in ("per-phase latency", "fork-avoidance breakdown",
+                        "reconciliation"):
+            assert heading in text
+
+
+# -- determinism and export ---------------------------------------------------
+
+class TestTraceDeterminism:
+    def test_serial_and_jobs2_traces_are_byte_identical(self):
+        exp_ids = ["mfs-sinkhole", "fig4"]
+        serial = run_experiments(exp_ids, "quick", jobs=1, traced=True)
+        pooled = run_experiments(exp_ids, "quick", jobs=2, traced=True)
+        flat_serial = [r for o in serial for r in o.records]
+        flat_pooled = [r for o in pooled for r in o.records]
+        assert flat_serial == flat_pooled
+        assert any(r["type"] == "span" for r in flat_serial)
+
+    def test_repeated_capture_is_identical(self):
+        _, first = _traced_run(ServerConfig.hybrid())
+        _, second = _traced_run(ServerConfig.hybrid())
+        assert first == second
+
+
+class TestExport:
+    def test_jsonl_roundtrip(self, tmp_path):
+        _, records = _traced_run(ServerConfig.hybrid(), n=20)
+        path = tmp_path / "trace.jsonl"
+        assert write_trace(path, records) == len(records)
+        assert read_trace(path) == records
+
+    def test_csv_roundtrip(self, tmp_path):
+        _, records = _traced_run(ServerConfig.hybrid(), n=20)
+        path = tmp_path / "trace.csv"
+        write_trace(path, records)
+        back = read_trace(path)
+        spans = [r for r in back if r["type"] == "span"]
+        originals = [r for r in records if r["type"] == "span"]
+        assert len(spans) == len(originals)
+        assert spans[0]["t0"] == originals[0]["t0"]
+        assert spans[0].get("attrs") == originals[0].get("attrs")
+
+
+class TestCli:
+    def test_trace_flag_writes_trace(self, tmp_path, capsys):
+        out = tmp_path / "fig4.jsonl"
+        assert cli_main(["fig4", "--trace", str(out)]) == 0
+        records = read_trace(out)
+        assert records[0]["type"] == "meta"
+        assert records[0]["version"] == 1
+        assert "trace record(s)" in capsys.readouterr().out
+
+    def test_trace_report_subcommand(self, tmp_path, capsys):
+        out = tmp_path / "fig4.jsonl"
+        cli_main(["fig4", "--trace", str(out)])
+        capsys.readouterr()
+        assert cli_main(["trace-report", str(out)]) == 0
+        assert "per-phase latency" in capsys.readouterr().out
+
+    def test_trace_report_missing_file(self, tmp_path):
+        assert cli_main(["trace-report", str(tmp_path / "nope.jsonl")]) == 2
+
+
+# -- contract ↔ documentation diff -------------------------------------------
+
+class TestContractDocSync:
+    """docs/OBSERVABILITY.md must list every span and metric, exactly."""
+
+    @staticmethod
+    def _documented(section_heading):
+        text = (REPO / "docs" / "OBSERVABILITY.md").read_text()
+        match = re.search(rf"^## {re.escape(section_heading)}$(.*?)(?=^## |\Z)",
+                          text, re.M | re.S)
+        assert match, f"missing section {section_heading!r}"
+        return set(re.findall(r"^\| `([^`]+)`", match.group(1), re.M))
+
+    def test_every_span_documented(self):
+        assert self._documented("Span catalogue") == set(SPANS)
+
+    def test_every_metric_documented(self):
+        assert self._documented("Metric catalogue") == set(METRICS)

@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Markdown link and anchor checker for the repo's documentation.
+
+Walks every ``*.md`` file (repo root and ``docs/``), extracts inline links,
+and fails when a relative link points at a file that does not exist or at a
+heading anchor that no heading in the target file produces.  External
+(``http``/``https``/``mailto``) links are not fetched — this repo builds
+offline — only their syntax is accepted.
+
+Run from anywhere:  ``python tools/check_docs.py``
+Exit status: 0 clean, 1 broken links (each printed as file:line).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: inline markdown links, excluding images; reference-style links are not
+#: used in this repo
+_LINK = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
+_HEADING = re.compile(r"^#{1,6}\s+(.*?)\s*#*\s*$")
+_CODE_FENCE = re.compile(r"^(```|~~~)")
+
+
+def _github_slug(heading: str) -> str:
+    """The anchor GitHub generates for a heading."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading)      # strip code spans
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # links → text
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)             # drop punctuation
+    return text.replace(" ", "-")
+
+
+def _anchors(path: Path) -> set[str]:
+    anchors: set[str] = set()
+    counts: dict[str, int] = {}
+    in_fence = False
+    for line in path.read_text().splitlines():
+        if _CODE_FENCE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = _HEADING.match(line)
+        if match:
+            slug = _github_slug(match.group(1))
+            n = counts.get(slug, 0)
+            counts[slug] = n + 1
+            anchors.add(slug if n == 0 else f"{slug}-{n}")
+    return anchors
+
+
+def _markdown_files() -> list[Path]:
+    files = sorted(REPO.glob("*.md"))
+    docs = REPO / "docs"
+    if docs.is_dir():
+        files += sorted(docs.rglob("*.md"))
+    return files
+
+
+def check() -> list[str]:
+    errors: list[str] = []
+    anchor_cache: dict[Path, set[str]] = {}
+    for md in _markdown_files():
+        in_fence = False
+        for lineno, line in enumerate(md.read_text().splitlines(), 1):
+            if _CODE_FENCE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            for match in _LINK.finditer(line):
+                target = match.group(1)
+                if target.startswith(("http://", "https://", "mailto:")):
+                    continue
+                path_part, _, anchor = target.partition("#")
+                where = f"{md.relative_to(REPO)}:{lineno}"
+                if path_part:
+                    resolved = (md.parent / path_part).resolve()
+                    if not resolved.exists():
+                        errors.append(f"{where}: broken link {target!r} "
+                                      f"(no such file)")
+                        continue
+                else:
+                    resolved = md
+                if anchor:
+                    if resolved.suffix.lower() != ".md":
+                        continue
+                    if resolved not in anchor_cache:
+                        anchor_cache[resolved] = _anchors(resolved)
+                    if anchor.lower() not in anchor_cache[resolved]:
+                        errors.append(f"{where}: broken anchor {target!r}")
+    return errors
+
+
+def main() -> int:
+    errors = check()
+    for error in errors:
+        print(error, file=sys.stderr)
+    files = len(_markdown_files())
+    if errors:
+        print(f"{len(errors)} broken link(s) across {files} markdown "
+              f"file(s)", file=sys.stderr)
+        return 1
+    print(f"{files} markdown file(s): all links and anchors resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

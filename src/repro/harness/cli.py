@@ -7,24 +7,37 @@ Examples::
     repro-experiments --scale full --jobs 4 --write-md EXPERIMENTS.md
     repro-experiments --clear-cache
     repro-experiments fig8 --profile
-    repro-experiments fig8 --trace fig8.jsonl
+    repro-experiments fig8 --trace fig8.jsonl --series fig8.series
+    repro-experiments fig8 --live
     repro-experiments trace-report fig8.jsonl
+    repro-experiments series-report fig8.series
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
 from ..obs.export import read_trace, write_trace
 from ..obs.report import trace_report
+from ..obs.timeseries import LiveDashboard, series_report
 from .cache import ResultCache
 from .experiment import Scale
 from .figures import EXPERIMENTS
-from .parallel import run_experiments
+from .parallel import ExperimentFailure, run_experiments
 from .report import render_result, write_experiments_md
 
-__all__ = ["main"]
+__all__ = ["main", "SUBCOMMANDS"]
+
+#: subcommands dispatched before option parsing; ``tools/check_docs.py``
+#: validates the fenced shell examples in the docs against this registry
+SUBCOMMANDS = {
+    "trace-report": "summarise a trace file (latency, blame table, "
+                    "reconciliation)",
+    "series-report": "summarise a time-series file (goodput over time, "
+                     "warm-up detection)",
+}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -34,7 +47,8 @@ def build_parser() -> argparse.ArgumentParser:
                     "mail server paper (ICDCS 2009).")
     parser.add_argument("experiments", nargs="*",
                         help="experiment ids to run (default: all), or "
-                             "'trace-report FILE' to summarise a trace")
+                             "'trace-report FILE' / 'series-report FILE' "
+                             "to summarise a previous capture")
     parser.add_argument("--scale", choices=(Scale.QUICK, Scale.FULL),
                         default=Scale.QUICK,
                         help="quick smoke runs or full published-number runs")
@@ -57,6 +71,20 @@ def build_parser() -> argparse.ArgumentParser:
                         help="capture spans + metrics while running and "
                              "write them to OUT (.jsonl or .csv; bypasses "
                              "the result cache)")
+    parser.add_argument("--series", metavar="OUT", default=None,
+                        help="sample every metric per simulated-time window "
+                             "and write the series to OUT (.jsonl or .csv; "
+                             "bypasses the result cache)")
+    parser.add_argument("--series-interval", type=float, default=1.0,
+                        metavar="SECONDS",
+                        help="sampling window in simulated seconds for "
+                             "--series/--live (default: 1.0)")
+    parser.add_argument("--live", action="store_true",
+                        help="render a live per-window dashboard while "
+                             "running (needs --jobs 1)")
+    parser.add_argument("--force", action="store_true",
+                        help="overwrite existing --trace/--series output "
+                             "files instead of refusing")
     return parser
 
 
@@ -96,11 +124,27 @@ def _trace_report_cmd(argv: list[str]) -> int:
     return 0
 
 
+def _series_report_cmd(argv: list[str]) -> int:
+    """``repro-experiments series-report FILE``: summarise a series file."""
+    if len(argv) != 1:
+        print("usage: repro-experiments series-report FILE", file=sys.stderr)
+        return 2
+    try:
+        records = read_trace(argv[0])
+    except OSError as exc:
+        print(f"cannot read series: {exc}", file=sys.stderr)
+        return 2
+    print(series_report(records))
+    return 0
+
+
 def main(argv=None) -> int:
     if argv is None:
         argv = sys.argv[1:]
     if argv and argv[0] == "trace-report":
         return _trace_report_cmd(list(argv[1:]))
+    if argv and argv[0] == "series-report":
+        return _series_report_cmd(list(argv[1:]))
     args = build_parser().parse_args(argv)
     if args.list:
         for exp_id, cls in EXPERIMENTS.items():
@@ -113,6 +157,17 @@ def main(argv=None) -> int:
     if args.jobs < 1:
         print("--jobs must be >= 1", file=sys.stderr)
         return 2
+    if args.live and args.jobs != 1:
+        print("--live needs --jobs 1 (samples arrive in worker processes)",
+              file=sys.stderr)
+        return 2
+    # refuse to silently clobber a previous capture — with --jobs N it is
+    # too easy to overwrite the file another invocation is still reading
+    for out in (args.trace, args.series):
+        if out and Path(out).exists() and not args.force:
+            print(f"refusing to overwrite existing {out!r}; move it away "
+                  "or pass --force", file=sys.stderr)
+            return 2
     chosen = args.experiments or list(EXPERIMENTS)
     unknown = [e for e in chosen if e not in EXPERIMENTS]
     if unknown:
@@ -126,10 +181,27 @@ def main(argv=None) -> int:
             return 2
         return _profile_one(chosen[0], args.scale)
 
-    # a cached result carries no spans, so tracing always runs fresh
-    cache = None if (args.no_cache or args.trace) else ResultCache()
-    outcomes = run_experiments(chosen, args.scale, jobs=args.jobs,
-                               cache=cache, traced=args.trace is not None)
+    series_on = args.series is not None or args.live
+    dashboard = LiveDashboard(sys.stdout, interval=args.series_interval) \
+        if args.live else None
+    # a cached result carries no spans or samples, so capturing runs fresh
+    cache = None if (args.no_cache or args.trace or series_on) \
+        else ResultCache()
+    try:
+        outcomes = run_experiments(
+            chosen, args.scale, jobs=args.jobs, cache=cache,
+            traced=args.trace is not None,
+            series_interval=args.series_interval if series_on else None,
+            on_sample=dashboard.on_sample if dashboard else None)
+    except ExperimentFailure as exc:
+        if dashboard:
+            dashboard.close()
+        print(f"error: {exc}", file=sys.stderr)
+        print("--- worker traceback ---", file=sys.stderr)
+        print(exc.worker_traceback.rstrip(), file=sys.stderr)
+        return 1
+    if dashboard:
+        dashboard.close()
     results = []
     failures = 0
     for outcome in outcomes:
@@ -145,6 +217,10 @@ def main(argv=None) -> int:
         n = write_trace(args.trace,
                         (r for o in outcomes for r in o.records))
         print(f"wrote {n} trace record(s) to {args.trace}")
+    if args.series:
+        n = write_trace(args.series,
+                        (r for o in outcomes for r in o.series))
+        print(f"wrote {n} series record(s) to {args.series}")
     if args.write_md:
         write_experiments_md(results, args.write_md)
         print(f"wrote {args.write_md}")

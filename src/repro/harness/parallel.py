@@ -13,13 +13,21 @@ finished :class:`ExperimentResult` dataclasses crosses the process boundary.
 With ``traced=True`` each experiment runs inside its own
 :func:`repro.obs.capture` — the same code path serially and in the pool, so
 run/connection ids restart per experiment and the merged trace (experiments
-concatenated in request order) is byte-identical at any ``--jobs``.
+concatenated in request order) is byte-identical at any ``--jobs``.  The
+same holds for ``series_interval``: sampling is driven by simulated time,
+so the merged series file is byte-identical at any ``--jobs`` too.
+
+A crashing experiment is not allowed to surface as a bare pool exception
+with the worker's stack lost: the worker catches everything and ships
+``(experiment id, exception summary, formatted traceback)`` back to the
+parent, which raises :class:`ExperimentFailure` carrying all three.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import time
+import traceback as _traceback
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
@@ -27,7 +35,7 @@ from ..obs.trace import capture
 from .cache import ResultCache
 from .experiment import ExperimentResult
 
-__all__ = ["RunOutcome", "run_experiments"]
+__all__ = ["RunOutcome", "ExperimentFailure", "run_experiments"]
 
 
 @dataclass
@@ -38,33 +46,74 @@ class RunOutcome:
     elapsed: float
     cached: bool
     records: list = field(default_factory=list)  # trace records (traced runs)
+    series: list = field(default_factory=list)   # time-series records
 
 
-def _run_one(task: tuple) -> tuple:
-    """Pool worker: run one experiment (top-level for pickling)."""
+class ExperimentFailure(RuntimeError):
+    """An experiment crashed; carries the worker's formatted traceback."""
+
+    def __init__(self, exp_id: str, message: str, worker_traceback: str):
+        super().__init__(f"experiment {exp_id!r} failed: {message}")
+        self.exp_id = exp_id
+        self.worker_traceback = worker_traceback
+
+
+@dataclass
+class _Failure:
+    """Picklable crash payload shipped from a worker to the parent."""
+
+    exp_id: str
+    message: str
+    traceback: str
+
+
+def _run_one(task: tuple, on_sample=None) -> tuple:
+    """Pool worker: run one experiment (top-level for pickling).
+
+    Returns ``(exp_id, result-or-_Failure, elapsed, records, series)``.
+    ``on_sample`` only exists on the serial path — callbacks do not cross
+    the process boundary.
+    """
     from .figures import EXPERIMENTS
 
-    exp_id, scale, traced = task
+    exp_id, scale, traced, series_interval = task
     start = time.perf_counter()
-    if traced:
-        with capture(context={"exp": exp_id}) as tr:
+    records: list = []
+    series: list = []
+    try:
+        if traced or series_interval is not None:
+            with capture(context={"exp": exp_id},
+                         series_interval=series_interval,
+                         on_sample=on_sample) as tr:
+                result = EXPERIMENTS[exp_id]().run(scale=scale)
+            if traced:
+                records = list(tr.records())
+            if series_interval is not None:
+                series = list(tr.series_records())
+        else:
             result = EXPERIMENTS[exp_id]().run(scale=scale)
-        records = list(tr.records())
-    else:
-        result = EXPERIMENTS[exp_id]().run(scale=scale)
-        records = []
-    return exp_id, result, time.perf_counter() - start, records
+    except Exception as exc:
+        failure = _Failure(exp_id, f"{type(exc).__name__}: {exc}",
+                           _traceback.format_exc())
+        return exp_id, failure, time.perf_counter() - start, [], []
+    return exp_id, result, time.perf_counter() - start, records, series
 
 
 def run_experiments(exp_ids: Sequence[str], scale: str, jobs: int = 1,
                     cache: Optional[ResultCache] = None,
-                    traced: bool = False) -> list[RunOutcome]:
+                    traced: bool = False,
+                    series_interval: Optional[float] = None,
+                    on_sample=None) -> list[RunOutcome]:
     """Run ``exp_ids`` at ``scale`` with up to ``jobs`` worker processes.
 
     Cached results are returned without running anything; fresh results are
     written back to ``cache``.  The returned list matches ``exp_ids`` order.
-    ``traced=True`` captures a trace per experiment (bypass the cache to
-    trace everything — cached results carry no records).
+    ``traced=True`` captures a trace per experiment and ``series_interval``
+    additionally samples every registry at that simulated-time interval
+    (bypass the cache for either — cached results carry no records).
+
+    Raises :class:`ExperimentFailure` for the first crashing experiment (in
+    request order), with the worker's traceback attached.
     """
     outcomes: dict[str, RunOutcome] = {}
     pending: list[str] = []
@@ -76,16 +125,26 @@ def run_experiments(exp_ids: Sequence[str], scale: str, jobs: int = 1,
             pending.append(exp_id)
 
     if pending:
-        tasks = [(exp_id, scale, traced) for exp_id in pending]
+        tasks = [(exp_id, scale, traced, series_interval)
+                 for exp_id in pending]
         if jobs > 1 and len(pending) > 1:
             with multiprocessing.Pool(min(jobs, len(pending))) as pool:
                 finished = pool.map(_run_one, tasks)
         else:
-            finished = [_run_one(task) for task in tasks]
-        for exp_id, result, elapsed, records in finished:
+            finished = [_run_one(task, on_sample=on_sample)
+                        for task in tasks]
+        failures = {exp_id: payload for exp_id, payload, *_ in finished
+                    if isinstance(payload, _Failure)}
+        if failures:
+            first = next(e for e in pending if e in failures)
+            failure = failures[first]
+            raise ExperimentFailure(failure.exp_id, failure.message,
+                                    failure.traceback)
+        for exp_id, result, elapsed, records, series in finished:
             if cache is not None:
                 cache.put(result)
             outcomes[exp_id] = RunOutcome(result=result, elapsed=elapsed,
-                                          cached=False, records=records)
+                                          cached=False, records=records,
+                                          series=series)
 
     return [outcomes[exp_id] for exp_id in exp_ids]

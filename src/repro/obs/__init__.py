@@ -29,17 +29,22 @@ False
 'meta'
 """
 
-from .contract import METRICS, SPANS, declare
+from .contract import (BENCH_FIELDS, METRICS, SERIES_FIELDS, SPANS, declare)
+from .critical_path import (CriticalPathAnalysis, analyze_critical_path,
+                            critical_path_report)
 from .export import read_trace, write_trace
 from .metrics import (Counter, Gauge, Histogram, MetricsRegistry, ObsError)
 from .report import reconcile, trace_report
+from .timeseries import LiveDashboard, SeriesCursor, series_report
 from .trace import (NULL_TRACER, NullTracer, Tracer, active_registry,
                     capture, tracer)
 
 __all__ = [
     "Counter", "Gauge", "Histogram", "MetricsRegistry", "ObsError",
-    "METRICS", "SPANS", "declare",
+    "METRICS", "SPANS", "SERIES_FIELDS", "BENCH_FIELDS", "declare",
     "Tracer", "NullTracer", "NULL_TRACER", "tracer", "active_registry",
     "capture",
     "write_trace", "read_trace", "trace_report", "reconcile",
+    "SeriesCursor", "LiveDashboard", "series_report",
+    "CriticalPathAnalysis", "analyze_critical_path", "critical_path_report",
 ]

@@ -17,7 +17,8 @@ from dataclasses import dataclass, field
 
 from .metrics import MetricsRegistry, ObsError
 
-__all__ = ["SpanSpec", "MetricSpec", "SPANS", "METRICS", "declare"]
+__all__ = ["SpanSpec", "MetricSpec", "SPANS", "METRICS", "SERIES_FIELDS",
+           "BENCH_FIELDS", "declare"]
 
 
 @dataclass(frozen=True)
@@ -165,6 +166,49 @@ METRICS: dict[str, MetricSpec] = {
         "gauge", "tasks",
         "Total tasks queued on the master->worker sockets; the peak shows "
         "how hard the finite buffers throttled the master (5.3)."),
+}
+
+
+#: Field vocabulary for time-series files (``--series`` / ``series-report``).
+#: A series file carries one ``meta`` record per captured experiment followed
+#: by ``sample`` records; :class:`repro.obs.timeseries.SeriesCursor` may only
+#: emit fields declared here, and ``docs/OBSERVABILITY.md`` documents them
+#: name-for-name (diffed by ``tests/test_obs.py::TestContractDocSync``).
+SERIES_FIELDS: dict[str, str] = {
+    "type": "record discriminator: 'meta' (file header) or 'sample'",
+    "version": "trace format version, stamped into the meta header",
+    "interval": "sampling interval in simulated seconds (meta header)",
+    "exp": "experiment id, merged from the capture context",
+    "sim": "simulator number within the capture, from 1 in construction "
+           "order (each simulator has its own clock)",
+    "t": "window end in simulated seconds — the k-th sample lies at "
+         "t = k * interval on that simulator's clock",
+    "run": "server run id whose registry was sampled; 0 is the "
+           "capture-level registry (kernel, DNSBL cache, MFS, net)",
+    "metrics": "per-metric deltas for the window: counters as numeric "
+               "deltas, gauges as {value, peak} snapshots, histograms as "
+               "{count, sum, buckets} deltas; unchanged metrics omitted",
+}
+
+#: Field vocabulary for ``repro-bench`` artifacts (``BENCH_<runstamp>.json``).
+#: :func:`repro.harness.bench.run_bench` refuses to write an artifact whose
+#: keys differ from this set, and ``docs/OBSERVABILITY.md`` mirrors it.
+BENCH_FIELDS: dict[str, str] = {
+    "schema": "artifact schema identifier, currently 'repro-bench/1'",
+    "runstamp": "UTC wall-clock stamp YYYYMMDDTHHMMSSZ, also in the filename",
+    "python": "interpreter version the benchmark ran under",
+    "platform": "OS/machine string from platform.platform()",
+    "scale": "'quick' or 'full' benchmark scale",
+    "kernel_events_per_sec": "DES-kernel events/sec, best of N runs of the "
+                             "Figure-8-shaped microbench",
+    "kernel_steps_per_sec": "DES-kernel generator resumes/sec on the same "
+                            "microbench run",
+    "figures": "per-experiment wall-clock seconds for the fixed figure "
+               "subset, as {experiment id: seconds}",
+    "tracing_overhead_pct": "percent wall-time cost of running the "
+                            "microbench under capture(series) vs untraced",
+    "peak_rss_kb": "peak resident set size of the benchmark process in KiB",
+    "total_wall_seconds": "wall-clock seconds for the whole bench run",
 }
 
 

@@ -1,0 +1,249 @@
+"""Critical-path analysis: where each connection's latency actually went.
+
+The span stream records *raw* phase durations, but raw durations overlap —
+a ``dnsbl`` check runs inside its ``envelope`` span — so summing them
+double-counts.  This module reconstructs each connection's span tree and
+attributes its end-to-end latency to **exclusive** segments:
+
+* ``dnsbl`` — blacklist checks (carved out of the envelope they nest in);
+* ``envelope`` — envelope time minus the nested dnsbl overlap;
+* ``fork`` / ``delegate`` / ``data`` — disjoint phases, charged as-is;
+* ``other`` — the connection-span remainder: client RTTs, RCPT handling,
+  queue waits — everything no inner span claims;
+* ``delivery`` — asynchronous (queue manager + local agents), reported
+  separately because it may outlive the connection.
+
+By construction ``sum(segments) + other == connection span`` exactly and
+``envelope + overlap == raw envelope total`` exactly, so the blame table
+reconciles with the raw per-phase totals of the same connections to well
+within the repo's 1% reporting tolerance — checked by
+:meth:`CriticalPathAnalysis.reconcile` and surfaced in ``trace-report``.
+
+Connections still in flight when a timed run was cut off have no
+``connection`` span; their orphaned inner spans cannot be attributed and
+are excluded (and counted) rather than silently folded in.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable
+
+__all__ = ["CriticalPathAnalysis", "analyze_critical_path",
+           "critical_path_report"]
+
+#: exclusive in-connection segments, in blame-table column order
+SEGMENTS = ("envelope", "dnsbl", "fork", "delegate", "data", "other")
+#: raw phases an exclusive attribution is derived from
+_INNER_PHASES = ("envelope", "dnsbl", "fork", "delegate", "data")
+
+_TOLERANCE = 0.01
+_TOP_K = 5
+
+
+def _overlap(spans_a: list, spans_b: list) -> float:
+    """Total pairwise interval intersection between two span lists."""
+    total = 0.0
+    for a0, a1 in spans_a:
+        for b0, b1 in spans_b:
+            lo = a0 if a0 > b0 else b0
+            hi = a1 if a1 < b1 else b1
+            if hi > lo:
+                total += hi - lo
+    return total
+
+
+class _ConnPath:
+    """One complete connection with its exclusive latency attribution."""
+
+    __slots__ = ("exp", "run", "conn", "arch", "outcome", "total",
+                 "segments", "overlap", "delivery", "raw")
+
+    def __init__(self, exp, run, conn, arch, outcome, total,
+                 segments, overlap, delivery, raw):
+        self.exp = exp
+        self.run = run
+        self.conn = conn
+        self.arch = arch
+        self.outcome = outcome
+        self.total = total
+        self.segments = segments      # exclusive seconds per SEGMENTS entry
+        self.overlap = overlap        # dnsbl time carved out of envelope
+        self.delivery = delivery      # async, outside `total`
+        self.raw = raw                # raw per-phase span totals
+
+
+class _Check:
+    __slots__ = ("exp", "phase", "blamed", "raw", "ok")
+
+    def __init__(self, exp, phase, blamed, raw):
+        self.exp = exp
+        self.phase = phase
+        self.blamed = blamed
+        self.raw = raw
+        if raw == 0:
+            self.ok = blamed == 0
+        else:
+            self.ok = abs(blamed - raw) / raw <= _TOLERANCE
+
+
+class CriticalPathAnalysis:
+    """Per-connection paths plus the aggregates the report renders."""
+
+    def __init__(self):
+        self.paths: list[_ConnPath] = []
+        self.orphan_spans = 0     # spans of connections with no end
+        self.orphan_conns = 0
+
+    def blame(self) -> dict:
+        """Aggregate exclusive seconds per ``(exp, arch)``."""
+        rows: dict[tuple, dict] = {}
+        for path in self.paths:
+            row = rows.setdefault((path.exp, path.arch), defaultdict(float))
+            row["conns"] += 1
+            row["total"] += path.total
+            row["delivery"] += path.delivery
+            row["overlap"] += path.overlap
+            for segment, seconds in path.segments.items():
+                row[segment] += seconds
+        return rows
+
+    def reconcile(self) -> list[_Check]:
+        """Blamed time vs raw span totals, per ``(exp, phase)``.
+
+        ``envelope`` adds back the dnsbl overlap it ceded; ``connection``
+        checks that the segments and the residual cover each connection
+        span exactly.
+        """
+        blamed: dict[tuple, float] = defaultdict(float)
+        raw: dict[tuple, float] = defaultdict(float)
+        for path in self.paths:
+            for phase in _INNER_PHASES:
+                raw[(path.exp, phase)] += path.raw.get(phase, 0.0)
+            raw[(path.exp, "connection")] += path.total
+            raw[(path.exp, "delivery")] += path.raw.get("delivery", 0.0)
+            for segment, seconds in path.segments.items():
+                if segment != "other":
+                    blamed[(path.exp, segment)] += seconds
+            blamed[(path.exp, "envelope")] += path.overlap
+            blamed[(path.exp, "connection")] += (
+                sum(path.segments.values()))
+            blamed[(path.exp, "delivery")] += path.delivery
+        checks = []
+        for key in sorted(raw):
+            if raw[key] == 0 and blamed.get(key, 0.0) == 0:
+                continue
+            checks.append(_Check(key[0], key[1], blamed.get(key, 0.0),
+                                 raw[key]))
+        return checks
+
+    def slowest(self, k: int = _TOP_K) -> list[_ConnPath]:
+        return sorted(self.paths, key=lambda p: (-p.total, p.exp, p.run,
+                                                 p.conn))[:k]
+
+
+def analyze_critical_path(records: Iterable[dict]) -> CriticalPathAnalysis:
+    """Build the per-connection latency attribution from trace records."""
+    run_attrs: dict[tuple, dict] = {}
+    by_conn: dict[tuple, dict] = defaultdict(lambda: defaultdict(list))
+    for record in records:
+        rtype = record.get("type")
+        exp = record.get("exp", "")
+        if rtype == "run":
+            run_attrs[(exp, record["run"])] = record.get("attrs", {})
+        elif rtype == "span":
+            key = (exp, record["run"], record["conn"])
+            by_conn[key][record["phase"]].append(
+                (record["t0"], record["t1"],
+                 (record.get("attrs") or {})))
+
+    analysis = CriticalPathAnalysis()
+    for key in sorted(by_conn):
+        exp, run, conn = key
+        phases = by_conn[key]
+        connection = phases.get("connection")
+        if not connection:
+            analysis.orphan_conns += 1
+            analysis.orphan_spans += sum(len(v) for v in phases.values())
+            continue
+        t0, t1, attrs = connection[0]
+        total = t1 - t0
+        raw = {phase: sum(s1 - s0 for s0, s1, _ in spans)
+               for phase, spans in phases.items()}
+        env = [(s0, s1) for s0, s1, _ in phases.get("envelope", ())]
+        dns = [(s0, s1) for s0, s1, _ in phases.get("dnsbl", ())]
+        overlap = _overlap(env, dns)
+        segments = {
+            "envelope": raw.get("envelope", 0.0) - overlap,
+            "dnsbl": raw.get("dnsbl", 0.0),
+            "fork": raw.get("fork", 0.0),
+            "delegate": raw.get("delegate", 0.0),
+            "data": raw.get("data", 0.0),
+        }
+        segments["other"] = total - sum(segments.values())
+        analysis.paths.append(_ConnPath(
+            exp, run, conn,
+            run_attrs.get((exp, run), {}).get("arch", "?"),
+            attrs.get("outcome", "?"), total, segments, overlap,
+            raw.get("delivery", 0.0), raw))
+    return analysis
+
+
+def critical_path_report(records: Iterable[dict],
+                         top: int = _TOP_K) -> tuple[str, bool]:
+    """Render the blame table, the slowest exemplars and the checks.
+
+    Returns ``(text, all_checks_hold)`` — folded into ``trace-report``'s
+    exit status alongside the span-vs-metrics reconciliation.
+    """
+    analysis = analyze_critical_path(records)
+    lines: list[str] = []
+
+    lines.append("critical-path blame (exclusive simulated seconds; "
+                 "delivery is async)")
+    lines.append(f"{'experiment':<14}{'arch':<9}{'conns':>6}{'total':>9}"
+                 + "".join(f"{s:>9}" for s in SEGMENTS)
+                 + f"{'delivery':>9}")
+    blame = analysis.blame()
+    for (exp, arch) in sorted(blame):
+        row = blame[(exp, arch)]
+        lines.append(f"{exp:<14}{arch:<9}{row['conns']:>6.0f}"
+                     f"{row['total']:>9.2f}"
+                     + "".join(f"{row[s]:>9.2f}" for s in SEGMENTS)
+                     + f"{row['delivery']:>9.2f}")
+    if not blame:
+        lines.append("(no complete connections in trace)")
+    if analysis.orphan_conns:
+        lines.append(f"(excluded {analysis.orphan_spans} span(s) from "
+                     f"{analysis.orphan_conns} connection(s) still in "
+                     "flight at cutoff)")
+
+    lines.append("")
+    lines.append(f"slowest connections (top {top} by end-to-end latency)")
+    lines.append(f"{'experiment':<14}{'run':>4}{'conn':>6} {'arch':<9}"
+                 f"{'outcome':<11}{'total':>8}  dominant segments")
+    slowest = analysis.slowest(top)
+    for path in slowest:
+        ranked = sorted(path.segments.items(), key=lambda kv: -kv[1])
+        dominant = ", ".join(f"{name} {seconds:.3f}"
+                             for name, seconds in ranked[:3] if seconds > 0)
+        lines.append(f"{path.exp:<14}{path.run:>4}{path.conn:>6} "
+                     f"{path.arch:<9}{path.outcome:<11}"
+                     f"{path.total:>8.3f}  {dominant}")
+    if not slowest:
+        lines.append("(no complete connections in trace)")
+
+    lines.append("")
+    lines.append("critical-path reconciliation: blamed (+overlap) vs raw "
+                 "span totals (tolerance 1%)")
+    lines.append(f"{'experiment':<14}{'phase':<12}{'blamed':>12}"
+                 f"{'spans':>12}  ok")
+    checks = analysis.reconcile()
+    all_ok = True
+    for check in checks:
+        all_ok = all_ok and check.ok
+        lines.append(f"{check.exp:<14}{check.phase:<12}{check.blamed:>12.3f}"
+                     f"{check.raw:>12.3f}  {'yes' if check.ok else 'NO'}")
+    if not checks:
+        lines.append("(nothing to check)")
+    return "\n".join(lines), all_ok

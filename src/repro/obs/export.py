@@ -16,7 +16,7 @@ from typing import Iterable, Union
 __all__ = ["write_trace", "read_trace"]
 
 _CSV_COLUMNS = ("type", "exp", "run", "conn", "phase", "t0", "t1",
-                "attrs", "metrics", "version")
+                "sim", "t", "interval", "attrs", "metrics", "version")
 
 
 def write_trace(path: Union[str, Path], records: Iterable[dict]) -> int:
@@ -64,9 +64,9 @@ def read_trace(path: Union[str, Path]) -> list[dict]:
                         continue
                     if key in ("attrs", "metrics"):
                         record[key] = json.loads(value)
-                    elif key in ("run", "conn", "version"):
+                    elif key in ("run", "conn", "version", "sim"):
                         record[key] = int(value)
-                    elif key in ("t0", "t1"):
+                    elif key in ("t0", "t1", "t", "interval"):
                         record[key] = float(value)
                     else:
                         record[key] = value

@@ -146,24 +146,59 @@ class Histogram:
         self.count += 1
         self.sum += value
 
+    def _edge_index(self, rank: float) -> int:
+        """Index of the bucket holding the nearest-rank observation.
+
+        ``len(self.edges)`` means the overflow bucket — the callers decide
+        whether that maps to ``inf`` (:meth:`percentile`) or clamps to the
+        top edge (:meth:`quantile`).
+        """
+        seen = 0
+        for i, c in enumerate(self.counts):
+            seen += c
+            if seen >= rank:
+                return i
+        return len(self.edges)  # pragma: no cover - ranks always <= count
+
     def percentile(self, q: float) -> float:
         """Upper bucket edge covering the ``q``-th percentile (nearest rank).
 
         Returns ``inf`` when the rank falls in the overflow bucket and the
         lowest edge for the underflow bucket — a conservative upper bound
-        in both log-bucket resolution and direction.
+        in both log-bucket resolution and direction.  Raises on an empty
+        histogram; see :meth:`quantile` for the total variant.
         """
         if not 0.0 <= q <= 100.0:
             raise ObsError(f"percentile out of range: {q!r}")
         if self.count == 0:
             raise ObsError(f"empty histogram {self.name!r}")
         rank = max(1, -(-q * self.count // 100))  # ceil without math import
-        seen = 0
-        for i, c in enumerate(self.counts):
-            seen += c
-            if seen >= rank:
-                return self.edges[i] if i < len(self.edges) else float("inf")
-        return float("inf")  # pragma: no cover - ranks always <= count
+        i = self._edge_index(rank)
+        return self.edges[i] if i < len(self.edges) else float("inf")
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Upper bucket edge covering quantile ``q`` in ``[0, 1]``, total.
+
+        Unlike :meth:`percentile` this never raises on data and never
+        returns ``inf``: an empty histogram yields ``None`` (there is no
+        quantile to report) and a rank falling in the overflow bucket
+        clamps to the top edge — the histogram's honest upper resolution
+        limit for values above ``high``.
+
+        >>> h = Histogram("t", low=1.0, high=100.0, per_decade=1)
+        >>> h.quantile(0.5) is None
+        True
+        >>> h.observe(5.0); h.observe(1e9)
+        >>> h.quantile(0.5), h.quantile(1.0)
+        (10.0, 100.0)
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ObsError(f"quantile out of range: {q!r}")
+        if self.count == 0:
+            return None
+        rank = max(1, -(-q * self.count // 1))  # ceil without math import
+        i = self._edge_index(rank)
+        return self.edges[i] if i < len(self.edges) else self.edges[-1]
 
     def mean(self) -> float:
         if self.count == 0:

@@ -1,12 +1,16 @@
 """``repro-experiments trace-report``: summarise a raw trace file.
 
-Three sections:
+Five sections:
 
 * **per-phase latency** — count, total simulated time and exact
   nearest-rank percentiles for every span phase, per experiment;
 * **fork-avoidance breakdown** — per architecture: connection outcomes,
   forks and delegations, and how many sessions never cost a worker
   process (the paper's §5 claim made visible per connection);
+* **critical-path blame** — each connection's end-to-end latency
+  attributed to exclusive envelope/dnsbl/fork/delegate/data/other
+  segments, plus the top-K slowest-connection exemplars and its own
+  blamed-vs-raw reconciliation (:mod:`repro.obs.critical_path`);
 * **reconciliation** — span-derived totals checked against the metrics
   registry dumps embedded in the same trace (the per-phase sums must
   agree with the aggregates the figures report to within 1%).
@@ -17,6 +21,8 @@ from __future__ import annotations
 import math
 from collections import defaultdict
 from typing import Iterable, Optional
+
+from .critical_path import critical_path_report
 
 __all__ = ["trace_report", "reconcile"]
 
@@ -159,6 +165,10 @@ def trace_report(records: list[dict]) -> tuple[str, bool]:
         lines.append("(no connection spans in trace)")
 
     lines.append("")
+    cp_text, cp_ok = critical_path_report(records)
+    lines.append(cp_text)
+
+    lines.append("")
     lines.append("reconciliation: spans vs metrics registry (tolerance 1%)")
     checks = reconcile(records)
     lines.append(f"{'experiment':<14}{'run':>4} {'invariant':<24}"
@@ -172,4 +182,4 @@ def trace_report(records: list[dict]) -> tuple[str, bool]:
             f"{'yes' if check.ok else 'NO'}")
     if not checks:
         lines.append("(no per-run metrics records in trace)")
-    return "\n".join(lines), all_ok
+    return "\n".join(lines), all_ok and cp_ok

@@ -1,0 +1,351 @@
+"""Windowed time-series sampling of registry metrics.
+
+The paper's core claims are *dynamic* — Figure 8's goodput collapse under
+spam load, §5's fork-avoidance savings shifting with bounce ratio, §7's
+DNSBL cache hit rate ramping as the /25 bitmap cache warms — so run totals
+are not enough.  This module samples every metric of every registry a
+simulator can see at a fixed simulated-time interval:
+
+* a :class:`SeriesCursor` is created per :class:`~repro.sim.core.Simulator`
+  by ``Tracer.series_cursor()`` when a capture requests sampling
+  (``capture(series_interval=...)``).  The kernel's only cost is one float
+  comparison per event (against ``inf`` when sampling is off — the same
+  zero-cost-when-off discipline as the span tracer);
+* at every window boundary ``t = k * interval`` (simulator clock) the
+  cursor diffs each attached registry against its previous snapshot and
+  emits one ``sample`` record per registry that changed: counters as
+  numeric deltas, gauges as ``{value, peak}`` snapshots, histograms as
+  ``{count, sum, buckets}`` deltas.  Unchanged metrics and empty samples
+  are omitted, and non-deterministic metrics (``kernel.wall_seconds``)
+  are skipped, so series files are byte-identical at any ``--jobs``;
+* :func:`series_report` renders goodput-over-time with warm-up detection
+  and the DNSBL cache hit-rate ramp from a series file, and
+  :class:`LiveDashboard` renders samples to a TTY as they arrive
+  (``repro-experiments --live``).
+
+The sample field vocabulary is fixed by ``SERIES_FIELDS`` in
+:mod:`repro.obs.contract` and documented in ``docs/OBSERVABILITY.md``.
+
+>>> from repro.obs import capture
+>>> from repro.sim import Simulator
+>>> with capture(context={"exp": "demo"}, series_interval=1.0) as tr:
+...     sim = Simulator()
+...     def worker():
+...         for _ in range(30):
+...             tr.note_kernel(1, 0, 0.0)   # 10 kernel.events per window
+...             yield sim.timeout(0.1)
+...     _ = sim.process(worker())
+...     sim.run(until=3.0)
+>>> samples = [r for r in tr.series_records() if r["type"] == "sample"]
+>>> [s["t"] for s in samples]
+[1.0, 2.0, 3.0]
+>>> sum(s["metrics"]["kernel.events"] for s in samples) >= 30
+True
+"""
+
+from __future__ import annotations
+
+import sys
+from collections import defaultdict
+from typing import Iterable, Optional
+
+from .contract import METRICS
+from .metrics import MetricsRegistry, ObsError
+
+__all__ = ["SeriesCursor", "LiveDashboard", "series_report"]
+
+
+def _snapshot(metric):
+    kind = metric.kind
+    if kind == "counter":
+        return metric.value
+    if kind == "gauge":
+        return (metric.value, metric.peak)
+    return (metric.count, metric.sum, tuple(metric.counts))
+
+
+class SeriesCursor:
+    """Per-simulator sampling state; created by ``Tracer.series_cursor()``.
+
+    The simulator drives it from the run loop: ``next_at`` is the next
+    window boundary on this simulator's clock, and :meth:`advance_to`
+    emits every sample up to (and including) the given time.  Registries
+    to diff are attached with :meth:`attach` — the capture-level registry
+    at construction, one per-server registry per ``MailServerSim`` (via
+    ``Simulator.series_attach``).
+    """
+
+    __slots__ = ("_tracer", "sim_id", "interval", "_k", "next_at", "_tracked")
+
+    def __init__(self, tracer, sim_id: int, interval: float,
+                 registry: MetricsRegistry):
+        if interval <= 0:
+            raise ObsError(f"series interval must be > 0, got {interval!r}")
+        self._tracer = tracer
+        self.sim_id = sim_id
+        self.interval = interval
+        self._k = 0
+        self.next_at = interval
+        self._tracked: list[tuple[int, MetricsRegistry, dict]] = []
+        self.attach(0, registry)
+
+    def attach(self, run: int, registry: MetricsRegistry) -> None:
+        """Track ``registry`` as ``run``; deltas start from its state now."""
+        baseline = {name: _snapshot(registry.get(name))
+                    for name in registry.names()}
+        self._tracked.append((run, registry, baseline))
+
+    def advance_to(self, now: float) -> float:
+        """Emit every window boundary ``<= now``; returns the next one.
+
+        Boundaries are computed as ``k * interval`` (not accumulated), so
+        the emitted ``t`` values are bit-identical across processes.
+        """
+        k = self._k
+        interval = self.interval
+        nxt = self.next_at
+        while nxt <= now:
+            self._sample(nxt)
+            k += 1
+            nxt = (k + 1) * interval
+        self._k = k
+        self.next_at = nxt
+        return nxt
+
+    def _sample(self, t: float) -> None:
+        for run, registry, prev in self._tracked:
+            deltas: dict = {}
+            for name in registry.names():
+                spec = METRICS.get(name)
+                if spec is not None and not spec.deterministic:
+                    continue
+                metric = registry.get(name)
+                kind = metric.kind
+                last = prev.get(name)
+                if kind == "counter":
+                    base = last if last is not None else 0
+                    delta = metric.value - base
+                    if delta:
+                        deltas[name] = delta
+                        prev[name] = metric.value
+                elif kind == "gauge":
+                    cur = (metric.value, metric.peak)
+                    if cur != (last if last is not None else (0, 0)):
+                        deltas[name] = {"value": cur[0], "peak": cur[1]}
+                        prev[name] = cur
+                else:  # histogram
+                    count0, sum0, counts0 = (last if last is not None
+                                             else (0, 0.0, None))
+                    dcount = metric.count - count0
+                    if dcount:
+                        counts = metric.counts
+                        if counts0 is None:
+                            buckets = [[i, c] for i, c in enumerate(counts)
+                                       if c]
+                        else:
+                            buckets = [[i, c - counts0[i]]
+                                       for i, c in enumerate(counts)
+                                       if c != counts0[i]]
+                        deltas[name] = {"count": dcount,
+                                        "sum": metric.sum - sum0,
+                                        "buckets": buckets}
+                        prev[name] = (metric.count, metric.sum, tuple(counts))
+            if deltas:
+                self._tracer._emit_sample({"type": "sample",
+                                           "sim": self.sim_id, "t": t,
+                                           "run": run, "metrics": deltas})
+
+
+# -- the series report --------------------------------------------------------
+
+#: a window counts as warmed up once its rate reaches this share of the
+#: steady-state mean (goodput) / the final cumulative rate (cache hits)
+_WARM_FRACTION = 0.9
+_GOODPUT_METRIC = "server.mails.accepted"
+_HIT_METRIC = "dnsbl.cache.hits"
+_MISS_METRIC = "dnsbl.cache.misses"
+_MAX_RAMP_ROWS = 20
+
+
+def _counter_delta(metrics: dict, name: str) -> float:
+    value = metrics.get(name, 0)
+    return float(value) if not isinstance(value, dict) else 0.0
+
+
+def _window_grid(interval: float, max_t: float) -> list[float]:
+    n = int(round(max_t / interval))
+    return [(k + 1) * interval for k in range(n)]
+
+
+def series_report(records: Iterable[dict]) -> str:
+    """Render goodput-over-time and the DNSBL warm-up from series records.
+
+    Three sections: per-run goodput over time with warm-up detection and
+    steady-state window statistics (the dynamic view of Figure 8), the
+    DNSBL cache hit-rate ramp (§7's bitmap cache warming), and a catalogue
+    of every sampled counter.  Missing windows are zero deltas — a sample
+    is only written when something changed.
+    """
+    intervals: dict[str, float] = {}
+    by_sim: dict[tuple, dict] = defaultdict(lambda: defaultdict(dict))
+    max_t: dict[tuple, float] = defaultdict(float)
+    for record in records:
+        rtype = record.get("type")
+        exp = record.get("exp", "")
+        if rtype == "meta" and "interval" in record:
+            intervals[exp] = record["interval"]
+        elif rtype == "sample":
+            key = (exp, record["sim"])
+            by_sim[key][record["run"]][record["t"]] = record["metrics"]
+            max_t[key] = max(max_t[key], record["t"])
+
+    lines: list[str] = ["time-series report"]
+    if not by_sim:
+        lines.append("(no sample records in file)")
+        return "\n".join(lines)
+
+    lines.append("")
+    lines.append("goodput over time (accepted mails/sec per window)")
+    lines.append(f"{'experiment':<14}{'sim':>4}{'run':>4}{'windows':>8}"
+                 f"{'warm@':>8}{'steady':>8}{'min':>8}{'max':>8}{'last':>8}")
+    any_goodput = False
+    for (exp, sim), runs in sorted(by_sim.items()):
+        interval = intervals.get(exp, 1.0)
+        grid = _window_grid(interval, max_t[(exp, sim)])
+        for run in sorted(runs):
+            samples = runs[run]
+            if not any(_counter_delta(m, _GOODPUT_METRIC)
+                       for m in samples.values()):
+                continue
+            any_goodput = True
+            rates = [_counter_delta(samples.get(t, {}), _GOODPUT_METRIC)
+                     / interval for t in grid]
+            steady_window = rates[len(rates) // 2:]
+            steady = sum(steady_window) / len(steady_window)
+            warm_at = next((t for t, r in zip(grid, rates)
+                            if r >= _WARM_FRACTION * steady), None)
+            warm = f"{warm_at:.1f}" if warm_at is not None else "-"
+            lines.append(f"{exp:<14}{sim:>4}{run:>4}{len(grid):>8}"
+                         f"{warm:>8}{steady:>8.1f}{min(rates):>8.1f}"
+                         f"{max(rates):>8.1f}{rates[-1]:>8.1f}")
+    if not any_goodput:
+        lines.append("(no goodput samples)")
+
+    lines.append("")
+    lines.append("dnsbl cache hit-rate warm-up (hits / lookups, cumulative)")
+    any_ramp = False
+    for (exp, sim), runs in sorted(by_sim.items()):
+        rows = []
+        hits = misses = 0.0
+        for run in sorted(runs):
+            for t in sorted(runs[run]):
+                metrics = runs[run][t]
+                dh = _counter_delta(metrics, _HIT_METRIC)
+                dm = _counter_delta(metrics, _MISS_METRIC)
+                if not (dh or dm):
+                    continue
+                hits += dh
+                misses += dm
+                window = dh / (dh + dm)
+                rows.append((t, window, hits / (hits + misses)))
+        if not rows:
+            continue
+        any_ramp = True
+        final = rows[-1][2]
+        warm_at = next((t for t, _, cum in rows
+                        if cum >= _WARM_FRACTION * final), None)
+        lines.append(f"{exp} sim {sim}: final hit rate "
+                     f"{final:.3f}, warm (>= {_WARM_FRACTION:.0%} of final) "
+                     f"at t={warm_at:.1f}")
+        lines.append(f"{'t':>8}{'window':>9}{'cumulative':>12}")
+        shown = rows[:_MAX_RAMP_ROWS]
+        for t, window, cum in shown:
+            lines.append(f"{t:>8.1f}{window:>9.3f}{cum:>12.3f}")
+        if len(rows) > len(shown):
+            lines.append(f"  ... {len(rows) - len(shown)} more window(s)")
+    if not any_ramp:
+        lines.append("(no dnsbl cache samples)")
+
+    lines.append("")
+    lines.append("sampled counters (total delta over the capture)")
+    lines.append(f"{'experiment':<14}{'sim':>4}{'run':>4} {'metric':<32}"
+                 f"{'windows':>8}{'total':>12}")
+    totals: dict[tuple, list] = defaultdict(lambda: [0, 0.0])
+    for (exp, sim), runs in sorted(by_sim.items()):
+        for run in sorted(runs):
+            for t in sorted(runs[run]):
+                for name, value in runs[run][t].items():
+                    if isinstance(value, dict):
+                        continue
+                    cell = totals[(exp, sim, run, name)]
+                    cell[0] += 1
+                    cell[1] += value
+    for (exp, sim, run, name), (windows, total) in sorted(totals.items()):
+        lines.append(f"{exp:<14}{sim:>4}{run:>4} {name:<32}"
+                     f"{windows:>8}{total:>12g}")
+    return "\n".join(lines)
+
+
+# -- the live dashboard -------------------------------------------------------
+
+class LiveDashboard:
+    """Render samples to a terminal as they arrive (``--live``).
+
+    Acts as the ``on_sample`` callback of a capture: tracks cumulative
+    goodput per run and the DNSBL cache hit rate, and repaints a single
+    status line per sample (carriage-return overwrite on a TTY, one line
+    per window otherwise).  State resets when the samples move to a new
+    simulator — each simulator has its own clock.
+    """
+
+    def __init__(self, stream=None, interval: Optional[float] = None):
+        self._stream = stream if stream is not None else sys.stdout
+        self._tty = bool(getattr(self._stream, "isatty", lambda: False)())
+        self._interval = interval
+        self._key: Optional[tuple] = None
+        self._accepted: dict[int, float] = defaultdict(float)
+        self._hits = 0.0
+        self._lookups = 0.0
+        self._width = 0
+        self.samples = 0
+
+    def on_sample(self, record: dict) -> None:
+        key = (record.get("exp", ""), record["sim"])
+        if key != self._key:
+            self._key = key
+            self._accepted.clear()
+        self.samples += 1
+        run = record["run"]
+        metrics = record["metrics"]
+        delta = _counter_delta(metrics, _GOODPUT_METRIC)
+        if delta:
+            self._accepted[run] += delta
+        dh = _counter_delta(metrics, _HIT_METRIC)
+        dm = _counter_delta(metrics, _MISS_METRIC)
+        self._hits += dh
+        self._lookups += dh + dm
+        self._render(record["t"], run, delta)
+
+    def _render(self, t: float, run: int, delta: float) -> None:
+        exp, sim = self._key
+        interval = self._interval
+        rate = f" ({delta / interval:.1f}/s)" if interval and delta else ""
+        accepted = sum(self._accepted.values())
+        line = (f"[{exp} sim {sim}] t={t:.1f}s run {run}: "
+                f"{accepted:.0f} mails{rate}")
+        if self._lookups:
+            line += f", dnsbl hit {self._hits / self._lookups:.0%}"
+        if self._tty:
+            pad = max(0, self._width - len(line))
+            self._stream.write("\r" + line + " " * pad)
+            self._width = len(line)
+        else:
+            self._stream.write(line + "\n")
+        self._stream.flush()
+
+    def close(self) -> None:
+        """Finish the repaint line so later output starts clean."""
+        if self._tty and self._width:
+            self._stream.write("\n")
+            self._stream.flush()
+        self._width = 0

@@ -25,8 +25,11 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Any, Iterator, Optional
 
-from .contract import METRICS, SPANS, declare
+from .contract import METRICS, SERIES_FIELDS, SPANS, declare
 from .metrics import MetricsRegistry, ObsError
+
+#: raw sample-record fields (context keys like ``exp`` merge in later)
+_SERIES_KEYS = frozenset(SERIES_FIELDS)
 
 __all__ = ["Tracer", "NullTracer", "NULL_TRACER", "tracer",
            "active_registry", "capture"]
@@ -48,13 +51,19 @@ class Tracer:
     enabled = True
 
     def __init__(self, registry: Optional[MetricsRegistry] = None,
-                 context: Optional[dict] = None):
+                 context: Optional[dict] = None,
+                 series_interval: Optional[float] = None,
+                 on_sample=None):
         self.registry = registry if registry is not None else MetricsRegistry()
         self.context = dict(context or {})
         self._runs: list[tuple[int, dict]] = []
         self._spans: list[tuple] = []
         self._metrics: list[tuple[int, dict]] = []
+        self._samples: list[dict] = []
         self._next_run = 0
+        self._next_sim = 0
+        self.series_interval = series_interval
+        self._on_sample = on_sample
         self._kernel_events = declare(self.registry, "kernel.events")
         self._kernel_steps = declare(self.registry, "kernel.steps")
         self._kernel_wall = declare(self.registry, "kernel.wall_seconds")
@@ -87,9 +96,51 @@ class Tracer:
         self._kernel_steps.inc(steps)
         self._kernel_wall.inc(wall)
 
+    def series_cursor(self):
+        """A sampling cursor for a newly built simulator, or ``None``.
+
+        Called by ``Simulator.__init__``; returns ``None`` unless this
+        capture asked for time-series sampling, so the kernel's run loop
+        keeps its next-sample boundary at ``inf`` and sampling costs one
+        always-false float comparison per event.
+        """
+        if self.series_interval is None:
+            return None
+        from .timeseries import SeriesCursor
+        self._next_sim += 1
+        return SeriesCursor(self, self._next_sim, self.series_interval,
+                            self.registry)
+
+    def _emit_sample(self, record: dict) -> None:
+        """Store one sample record (called by :class:`SeriesCursor`)."""
+        undeclared = set(record) - _SERIES_KEYS
+        if undeclared:
+            raise ObsError(f"sample fields {sorted(undeclared)} are not in "
+                           "the series contract (repro.obs.contract."
+                           "SERIES_FIELDS)")
+        self._samples.append(record)
+        if self._on_sample is not None:
+            self._on_sample({**record, **self.context})
+
     @property
     def span_count(self) -> int:
         return len(self._spans)
+
+    @property
+    def sample_count(self) -> int:
+        return len(self._samples)
+
+    def series_records(self) -> Iterator[dict]:
+        """Yield the time series as JSON-ready dicts: meta, then samples.
+
+        Samples appear in emission order — simulator construction order,
+        then window order within a simulator — which is simulation-derived
+        and hence deterministic at any ``--jobs``.
+        """
+        yield {"type": "meta", "version": TRACE_VERSION,
+               "interval": self.series_interval, **self.context}
+        for record in self._samples:
+            yield {**record, **self.context}
 
     def records(self) -> Iterator[dict]:
         """Yield the capture as JSON-ready dicts, deterministically ordered.
@@ -138,6 +189,7 @@ class NullTracer:
 
     enabled = False
     registry = None
+    series_interval = None
 
     def set_context(self, **attrs: Any) -> None:
         pass
@@ -154,11 +206,21 @@ class NullTracer:
     def note_kernel(self, events: int, steps: int, wall: float) -> None:
         pass
 
+    def series_cursor(self) -> None:
+        return None
+
     @property
     def span_count(self) -> int:
         return 0
 
+    @property
+    def sample_count(self) -> int:
+        return 0
+
     def records(self) -> Iterator[dict]:
+        return iter(())
+
+    def series_records(self) -> Iterator[dict]:
         return iter(())
 
 
@@ -182,15 +244,23 @@ def active_registry() -> Optional[MetricsRegistry]:
 
 
 @contextmanager
-def capture(context: Optional[dict] = None):
+def capture(context: Optional[dict] = None,
+            series_interval: Optional[float] = None,
+            on_sample=None):
     """Enable tracing for the duration of the ``with`` block.
 
     Captures nest (the inner capture shadows the outer one); objects
     constructed inside the block attach to the innermost tracer.
+
+    ``series_interval`` additionally samples every visible metrics
+    registry at that simulated-time interval (see
+    :mod:`repro.obs.timeseries`); ``on_sample`` is called with each sample
+    record as it is emitted (the ``--live`` dashboard).
     """
     global _active
     previous = _active
-    _active = Tracer(context=context)
+    _active = Tracer(context=context, series_interval=series_interval,
+                     on_sample=on_sample)
     try:
         yield _active
     finally:

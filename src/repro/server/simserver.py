@@ -78,6 +78,9 @@ class MailServerSim:
         self._run = (tr.begin_run(arch=config.architecture,
                                   storage=config.storage_backend)
                      if self._tr is not None else 0)
+        if self._tr is not None:
+            # time-series sampling: diff this server's registry per window
+            sim.series_attach(self._run, self.metrics.registry)
         self._conn_ids = itertools.count(1)
 
         self.cpu = CPU(sim, cores=1,

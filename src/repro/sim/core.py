@@ -470,7 +470,7 @@ class Simulator:
 
     __slots__ = ("now", "_heap", "_seq", "_active_process", "_unhandled",
                  "_pool_max", "_timeout_pool", "events_processed",
-                 "steps_executed", "wall_seconds", "_obs")
+                 "steps_executed", "wall_seconds", "_obs", "_series")
 
     def __init__(self, timeout_pool: Optional[int] = None):
         self.now: float = 0.0
@@ -487,9 +487,12 @@ class Simulator:
         self.steps_executed: int = 0
         self.wall_seconds: float = 0.0
         # observability: counters publish once per run() call, never per
-        # event, so tracing adds no per-event work even when enabled
+        # event, so tracing adds no per-event work even when enabled.
+        # Time-series sampling costs one float comparison per event in
+        # run() — against inf when _series is None.
         tr = _obs_tracer()
         self._obs = tr if tr.enabled else None
+        self._series = tr.series_cursor() if tr.enabled else None
 
     # -- public API ---------------------------------------------------------
     def timeout(self, delay: float, value: Any = None) -> Timeout:
@@ -537,10 +540,23 @@ class Simulator:
                            wall_seconds=self.wall_seconds,
                            pooled_timeouts=len(self._timeout_pool))
 
+    def series_attach(self, run: int, registry) -> None:
+        """Sample ``registry`` as ``run`` in this simulator's time series.
+
+        No-op unless the active capture asked for series sampling
+        (``capture(series_interval=...)``); used by ``MailServerSim`` to
+        put its per-run metrics registry on the sampling cursor.
+        """
+        if self._series is not None:
+            self._series.attach(run, registry)
+
     def run(self, until: Optional[float] = None) -> None:
         """Run until the heap drains or simulated time reaches ``until``.
 
         Raises the first unhandled process exception, if any occurred.
+        With series sampling on, every window boundary the clock crosses
+        is sampled; a bounded run also flushes the boundaries up to
+        ``until`` after the loop drains.
         """
         limit = float("inf") if until is None else until
         heap = self._heap
@@ -549,6 +565,8 @@ class Simulator:
         pool = self._timeout_pool
         pool_max = self._pool_max
         getrefcount = _getrefcount
+        series = self._series
+        next_sample = series.next_at if series is not None else float("inf")
         events = 0
         steps = 0
         wall0 = perf_counter()
@@ -558,6 +576,8 @@ class Simulator:
                     break
                 time, _, event = heappop(heap)
                 self.now = time
+                if time >= next_sample:
+                    next_sample = series.advance_to(time)
                 events += 1
                 if event.__class__ is Timeout:
                     waiter = event._waiter
@@ -677,8 +697,11 @@ class Simulator:
             self.wall_seconds += wall
             if self._obs is not None:
                 self._obs.note_kernel(events, steps, wall)
-        if until is not None and self.now < until:
-            self.now = until
+        if until is not None:
+            if self.now < until:
+                self.now = until
+            if series is not None and series.next_at <= until:
+                series.advance_to(until)
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` when idle."""

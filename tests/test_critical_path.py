@@ -1,0 +1,138 @@
+"""Tests for critical-path analysis (repro.obs.critical_path).
+
+Exclusive attribution over synthetic span trees (exact numbers), orphan
+handling, and end-to-end reconciliation within 1% on a real traced server
+run.
+"""
+
+import pytest
+
+from repro.clients import ClosedLoopClient
+from repro.obs import analyze_critical_path, capture, critical_path_report
+from repro.server import MailServerSim, ServerConfig
+from repro.sim import Simulator
+from repro.traces import bounce_sweep_trace
+
+
+def _span(run, conn, phase, t0, t1, attrs=None, exp="unit"):
+    record = {"type": "span", "exp": exp, "run": run, "conn": conn,
+              "phase": phase, "t0": t0, "t1": t1}
+    if attrs:
+        record["attrs"] = attrs
+    return record
+
+
+def _synthetic_records():
+    return [
+        {"type": "meta", "exp": "unit", "version": 1},
+        {"type": "run", "exp": "unit", "run": 1,
+         "attrs": {"arch": "vanilla"}},
+        # connection 1: fork 1s, envelope 3s with a 2s dnsbl inside,
+        # data 1s, 1s unaccounted teardown
+        _span(1, 1, "connection", 0.0, 10.0, {"outcome": "accepted"}),
+        _span(1, 1, "fork", 0.0, 1.0),
+        _span(1, 1, "envelope", 1.0, 6.0, {"outcome": "trusted"}),
+        _span(1, 1, "dnsbl", 2.0, 4.0, {"cache_hit": False}),
+        _span(1, 1, "data", 6.0, 9.0, {"bytes": 100}),
+        _span(1, 1, "delivery", 9.0, 12.0, {"rcpts": 1, "bytes": 100}),
+    ]
+
+
+class TestExclusiveAttribution:
+    def test_segments_sum_exactly_to_connection_total(self):
+        analysis = analyze_critical_path(_synthetic_records())
+        (path,) = analysis.paths
+        assert path.total == 10.0
+        assert path.segments["fork"] == 1.0
+        assert path.segments["dnsbl"] == 2.0
+        assert path.segments["envelope"] == 3.0      # 5s raw minus 2s dnsbl
+        assert path.segments["data"] == 3.0
+        assert path.segments["other"] == pytest.approx(1.0)
+        assert sum(path.segments.values()) == pytest.approx(path.total)
+        assert path.delivery == 3.0                  # reported, not blamed
+        assert path.arch == "vanilla"
+        assert path.outcome == "accepted"
+
+    def test_blame_aggregates_per_experiment_and_arch(self):
+        analysis = analyze_critical_path(_synthetic_records())
+        ((key, blame),) = sorted(analysis.blame().items())
+        assert key == ("unit", "vanilla")
+        assert blame["conns"] == 1
+        assert blame["total"] == 10.0
+        assert blame["dnsbl"] == 2.0
+
+    def test_reconciliation_is_exact_on_synthetic_tree(self):
+        analysis = analyze_critical_path(_synthetic_records())
+        checks = analysis.reconcile()
+        assert checks and all(c.ok for c in checks)
+        by_phase = {(c.exp, c.phase): c for c in checks}
+        # envelope check adds the carved-out overlap back to the raw total
+        assert by_phase[("unit", "envelope")].blamed == 5.0
+
+    def test_orphan_spans_excluded_and_counted(self):
+        records = _synthetic_records() + [
+            # connection 2 never completed: inner spans but no connection
+            _span(1, 2, "envelope", 0.0, 2.0, {"outcome": "trusted"}),
+            _span(1, 2, "dnsbl", 0.5, 1.0, {"cache_hit": True}),
+        ]
+        analysis = analyze_critical_path(records)
+        assert len(analysis.paths) == 1
+        assert analysis.orphan_spans == 2
+        assert analysis.orphan_conns == 1
+        assert all(c.ok for c in analysis.reconcile())
+
+    def test_slowest_returns_top_k_by_total(self):
+        records = _synthetic_records() + [
+            _span(1, 2, "connection", 0.0, 30.0, {"outcome": "accepted"}),
+            _span(1, 3, "connection", 0.0, 20.0, {"outcome": "bounce"}),
+        ]
+        analysis = analyze_critical_path(records)
+        slowest = analysis.slowest(2)
+        assert [p.total for p in slowest] == [30.0, 20.0]
+
+    def test_report_renders_and_reconciles(self):
+        text, all_ok = critical_path_report(_synthetic_records())
+        assert all_ok
+        assert "critical-path blame" in text
+        assert "slowest connections" in text
+        assert "critical-path reconciliation" in text
+
+
+class TestRealTrace:
+    def _records(self, config):
+        trace = bounce_sweep_trace(0.3, n_connections=80,
+                                   unfinished_ratio=0.1)
+        with capture(context={"exp": "unit"}) as tr:
+            sim = Simulator()
+            server = MailServerSim(sim, config)
+            client = ClosedLoopClient(sim, server, trace, concurrency=10)
+            client.start()
+            sim.run()
+            server.finalize(sim.now)
+        return list(tr.records())
+
+    @pytest.mark.parametrize("config", [
+        ServerConfig.hybrid(),
+        ServerConfig(architecture="vanilla", process_limit=10),
+    ], ids=["hybrid", "vanilla"])
+    def test_blame_reconciles_with_span_totals_within_1pct(self, config):
+        records = self._records(config)
+        analysis = analyze_critical_path(records)
+        assert analysis.paths
+        checks = analysis.reconcile()
+        assert checks
+        for check in checks:
+            assert check.ok, (check.exp, check.phase,
+                              check.blamed, check.spans)
+        # every per-connection attribution is internally consistent too
+        for path in analysis.paths:
+            assert sum(path.segments.values()) == pytest.approx(path.total)
+            assert min(path.segments.values()) >= -1e-9
+
+    def test_report_is_part_of_trace_report(self):
+        from repro.obs import trace_report
+        records = self._records(ServerConfig.hybrid())
+        text, all_ok = trace_report(records)
+        assert all_ok
+        assert "critical-path blame" in text
+        assert "critical-path reconciliation" in text

@@ -9,6 +9,7 @@ import repro.dnsbl.cache
 import repro.mfs.store
 import repro.obs
 import repro.obs.metrics
+import repro.obs.timeseries
 import repro.obs.trace
 import repro.smtp.address
 import repro.smtp.commands
@@ -23,7 +24,7 @@ import repro.traces.record
 MODULES = [
     repro.dnsbl.bitmap, repro.dnsbl.cache,
     repro.mfs.store,
-    repro.obs, repro.obs.metrics, repro.obs.trace,
+    repro.obs, repro.obs.metrics, repro.obs.timeseries, repro.obs.trace,
     repro.smtp.address, repro.smtp.commands, repro.smtp.client_fsm,
     repro.smtp.message, repro.smtp.replies,
     repro.sim.core, repro.sim.random, repro.sim.resources,

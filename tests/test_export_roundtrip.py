@@ -1,0 +1,89 @@
+"""Property-style round-trip tests for trace export (repro.obs.export).
+
+Randomised records with fixed seeds: JSONL and CSV re-parse must equal the
+in-memory stream, including unicode addresses in attrs and float simulated
+times.
+"""
+
+import random
+import string
+
+import pytest
+
+from repro.obs import read_trace, write_trace
+
+_UNICODE_POOL = (string.ascii_letters + "åéîøü漢字郵便メール@._-")
+_PHASES = ("connection", "envelope", "dnsbl", "fork", "delegate", "data",
+           "delivery")
+
+
+def _random_records(seed, n=120):
+    rng = random.Random(seed)
+
+    def address():
+        return "".join(rng.choice(_UNICODE_POOL)
+                       for _ in range(rng.randint(3, 20)))
+
+    records = [{"type": "meta", "exp": f"prop-{seed}", "version": 1}]
+    for conn in range(1, n + 1):
+        t0 = rng.uniform(0.0, 1e4)
+        record = {"type": "span", "exp": f"prop-{seed}",
+                  "run": rng.randint(1, 6), "conn": conn,
+                  "phase": rng.choice(_PHASES),
+                  "t0": t0, "t1": t0 + rng.expovariate(1.0)}
+        if rng.random() < 0.7:
+            record["attrs"] = {"sender": address(),
+                               "outcome": rng.choice(("accepted", "bounce")),
+                               "bytes": rng.randint(0, 10**9)}
+        records.append(record)
+        if rng.random() < 0.2:
+            records.append({"type": "sample", "exp": f"prop-{seed}",
+                            "sim": rng.randint(1, 4),
+                            "t": rng.uniform(0.0, 100.0) + 0.125,
+                            "run": rng.randint(0, 6),
+                            "metrics": {address(): rng.randint(1, 10**6)}})
+    records.append({"type": "metrics", "exp": f"prop-{seed}", "run": 1,
+                    "metrics": {"server.mails.accepted": rng.randint(0, 999),
+                                "server.run.seconds":
+                                    rng.uniform(0.0, 1e3)}})
+    return records
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+def test_jsonl_roundtrip_is_exact(tmp_path, seed):
+    records = _random_records(seed)
+    path = tmp_path / "t.jsonl"
+    assert write_trace(path, records) == len(records)
+    assert read_trace(path) == records
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+def test_csv_roundtrip_is_exact(tmp_path, seed):
+    records = _random_records(seed)
+    path = tmp_path / "t.csv"
+    assert write_trace(path, records) == len(records)
+    assert read_trace(path) == records
+
+
+def test_unicode_survives_both_formats(tmp_path):
+    record = {"type": "span", "exp": "uni", "run": 1, "conn": 1,
+              "phase": "envelope", "t0": 0.5, "t1": 1.25,
+              "attrs": {"sender": "pål@example.com",
+                        "subject": "宛先不明 📧"}}
+    for name in ("t.jsonl", "t.csv"):
+        path = tmp_path / name
+        write_trace(path, [record])
+        assert read_trace(path) == [record]
+
+
+def test_float_times_keep_full_precision(tmp_path):
+    # repr-faithful floats: 0.1 + 0.2 style values must survive both ways
+    record = {"type": "span", "exp": "f", "run": 1, "conn": 1,
+              "phase": "data", "t0": 0.30000000000000004,
+              "t1": 1e-9 + 1.0}
+    for name in ("t.jsonl", "t.csv"):
+        path = tmp_path / name
+        write_trace(path, [record])
+        (back,) = read_trace(path)
+        assert back["t0"] == record["t0"]
+        assert back["t1"] == record["t1"]

@@ -15,9 +15,10 @@ from repro.clients import ClosedLoopClient
 from repro.core import make_dnsbl_bank
 from repro.harness.cli import main as cli_main
 from repro.harness.parallel import run_experiments
-from repro.obs import (METRICS, NULL_TRACER, Counter, MetricsRegistry,
-                       ObsError, SPANS, capture, read_trace, reconcile,
-                       trace_report, tracer, write_trace)
+from repro.obs import (BENCH_FIELDS, METRICS, NULL_TRACER, Counter,
+                       MetricsRegistry, ObsError, SERIES_FIELDS, SPANS,
+                       capture, read_trace, reconcile, trace_report, tracer,
+                       write_trace)
 from repro.server import MailServerSim, ServerConfig
 from repro.sim import Simulator
 from repro.traces import bounce_sweep_trace
@@ -88,6 +89,37 @@ class TestHistogram:
         # p50 falls in the [1,10) bucket → its upper edge
         assert h.percentile(50) == pytest.approx(10.0)
         assert h.percentile(100) == pytest.approx(1000.0)
+
+    def test_quantile_empty_returns_none(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h", low=1.0, high=1000.0, per_decade=1)
+        assert h.quantile(0.5) is None
+        with pytest.raises(ObsError):
+            h.percentile(50)          # percentile keeps raising on empty
+
+    def test_quantile_matches_percentile_when_in_range(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h", low=1.0, high=1000.0, per_decade=1)
+        for value in (1.5, 2.0, 50.0, 500.0):
+            h.observe(value)
+        assert h.quantile(0.5) == pytest.approx(h.percentile(50))
+        assert h.quantile(0.99) == pytest.approx(h.percentile(99))
+
+    def test_quantile_clamps_overflow_to_top_edge(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h", low=1.0, high=100.0, per_decade=1)
+        h.observe(5.0)
+        h.observe(1e9)                # lands in the overflow slot
+        assert h.percentile(100) == float("inf")
+        assert h.quantile(1.0) == h.edges[-1]
+
+    def test_quantile_rejects_out_of_range(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h", low=1.0, high=100.0, per_decade=1)
+        h.observe(5.0)
+        for bad in (-0.1, 1.5):
+            with pytest.raises(ObsError):
+                h.quantile(bad)
 
     def test_dump_lists_only_nonzero_buckets(self):
         reg = MetricsRegistry()
@@ -250,6 +282,25 @@ class TestTraceDeterminism:
         _, second = _traced_run(ServerConfig.hybrid())
         assert first == second
 
+    def test_serial_and_jobs2_series_are_byte_identical(self, tmp_path):
+        exp_ids = ["fig8", "fig4"]
+        serial = run_experiments(exp_ids, "quick", jobs=1, traced=True,
+                                 series_interval=1.0)
+        pooled = run_experiments(exp_ids, "quick", jobs=2, traced=True,
+                                 series_interval=1.0)
+        a, b = tmp_path / "serial.series", tmp_path / "pooled.series"
+        write_trace(a, (r for o in serial for r in o.series))
+        write_trace(b, (r for o in pooled for r in o.series))
+        assert a.read_bytes() == b.read_bytes()
+        samples = [r for o in serial for r in o.series
+                   if r["type"] == "sample"]
+        assert samples                      # fig8 actually sampled
+        assert all(set(r) <= set(SERIES_FIELDS) for r in samples)
+        # the trace itself stays byte-identical too when both are captured
+        flat_serial = [r for o in serial for r in o.records]
+        flat_pooled = [r for o in pooled for r in o.records]
+        assert flat_serial == flat_pooled
+
 
 class TestExport:
     def test_jsonl_roundtrip(self, tmp_path):
@@ -289,6 +340,37 @@ class TestCli:
     def test_trace_report_missing_file(self, tmp_path):
         assert cli_main(["trace-report", str(tmp_path / "nope.jsonl")]) == 2
 
+    def test_refuses_to_overwrite_existing_outputs(self, tmp_path, capsys):
+        for flag in ("--trace", "--series"):
+            out = tmp_path / f"existing{flag}.jsonl"
+            out.write_text("precious previous capture\n")
+            assert cli_main(["fig4", flag, str(out)]) == 2
+            assert "refusing to overwrite" in capsys.readouterr().err
+            assert out.read_text() == "precious previous capture\n"
+
+    def test_force_overwrites(self, tmp_path, capsys):
+        out = tmp_path / "fig4.jsonl"
+        out.write_text("old\n")
+        assert cli_main(["fig4", "--trace", str(out), "--force"]) == 0
+        assert read_trace(out)[0]["type"] == "meta"
+
+    def test_series_flag_and_report(self, tmp_path, capsys):
+        out = tmp_path / "f8.series"
+        assert cli_main(["fig8", "--series", str(out)]) == 0
+        assert "series record(s)" in capsys.readouterr().out
+        records = read_trace(out)
+        assert records[0]["type"] == "meta"
+        assert records[0]["interval"] == 1.0
+        assert any(r["type"] == "sample" for r in records)
+        assert cli_main(["series-report", str(out)]) == 0
+        report = capsys.readouterr().out
+        assert "goodput over time" in report
+        assert "fig8" in report
+
+    def test_live_requires_serial(self, capsys):
+        assert cli_main(["fig4", "--live", "--jobs", "2"]) == 2
+        assert "--live needs --jobs 1" in capsys.readouterr().err
+
 
 # -- contract ↔ documentation diff -------------------------------------------
 
@@ -308,3 +390,11 @@ class TestContractDocSync:
 
     def test_every_metric_documented(self):
         assert self._documented("Metric catalogue") == set(METRICS)
+
+    def test_every_series_field_documented(self):
+        assert (self._documented("Time-series record format")
+                == set(SERIES_FIELDS))
+
+    def test_every_bench_field_documented(self):
+        assert (self._documented("Benchmark artifact format")
+                == set(BENCH_FIELDS))

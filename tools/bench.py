@@ -1,0 +1,17 @@
+#!/usr/bin/env python3
+"""Run the continuous benchmark without installing the package.
+
+``python tools/bench.py`` is exactly ``repro-bench`` (see
+``repro.harness.bench``) for checkouts that have not run
+``python setup.py develop``.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.harness.bench import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Markdown link and anchor checker for the repo's documentation.
+"""Markdown link, anchor, and shell-example checker for the docs.
 
 Walks every ``*.md`` file (repo root and ``docs/``), extracts inline links,
 and fails when a relative link points at a file that does not exist or at a
@@ -7,8 +7,14 @@ heading anchor that no heading in the target file produces.  External
 (``http``/``https``/``mailto``) links are not fetched — this repo builds
 offline — only their syntax is accepted.
 
+Fenced shell examples are checked too: any ``repro-experiments`` or
+``repro-bench`` invocation whose first positional argument is not a known
+subcommand or experiment id is flagged, so the docs cannot drift from
+``harness/cli.py`` / ``harness/bench.py``.
+
 Run from anywhere:  ``python tools/check_docs.py``
-Exit status: 0 clean, 1 broken links (each printed as file:line).
+Exit status: 0 clean, 1 broken links or stale commands (each printed as
+file:line).
 """
 
 from __future__ import annotations
@@ -23,7 +29,111 @@ REPO = Path(__file__).resolve().parent.parent
 #: used in this repo
 _LINK = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
 _HEADING = re.compile(r"^#{1,6}\s+(.*?)\s*#*\s*$")
-_CODE_FENCE = re.compile(r"^(```|~~~)")
+_CODE_FENCE = re.compile(r"^(```|~~~)\s*(\S*)")
+
+#: fence languages whose lines are scanned for CLI invocations
+_SHELL_LANGS = {"", "bash", "sh", "shell", "console", "text"}
+_ENV_ASSIGN = re.compile(r"^\w+=\S*$")
+
+
+def _cli_vocabulary() -> dict[str, tuple[set[str], set[str]]]:
+    """Per-command ``(valid first positionals, value-taking flags)``.
+
+    Derived from the real parsers and registries so the vocabulary can
+    never lag behind the code.
+    """
+    sys.path.insert(0, str(REPO / "src"))
+    from repro.harness import bench, cli
+    from repro.harness.figures import EXPERIMENTS
+
+    def value_flags(parser) -> set[str]:
+        flags: set[str] = set()
+        for action in parser._actions:
+            if action.option_strings and action.nargs != 0:
+                flags.update(action.option_strings)
+        return flags
+
+    return {
+        "repro-experiments": (set(cli.SUBCOMMANDS) | set(EXPERIMENTS),
+                              value_flags(cli.build_parser())),
+        "repro-bench": (set(bench.SUBCOMMANDS),
+                        value_flags(bench.build_parser())),
+    }
+
+
+def _find_command(tokens: list[str]) -> tuple[str, int] | None:
+    """Locate a checked CLI in ``tokens``: ``(command name, arg start)``."""
+    for i, tok in enumerate(tokens):
+        if tok in ("repro-experiments", "repro-bench"):
+            return tok, i + 1
+        if tok.endswith(("repro.harness.cli", "harness/cli.py")):
+            return "repro-experiments", i + 1
+        if tok.endswith(("repro.harness.bench", "tools/bench.py")):
+            return "repro-bench", i + 1
+    return None
+
+
+#: what an intended subcommand or experiment id looks like; anything else
+#: (paths, prose, diagram fragments) is not worth flagging
+_ID_SHAPE = re.compile(r"[a-z0-9][a-z0-9_-]*$")
+
+
+def _bad_positional(tokens: list[str], vocab: set[str],
+                    flags: set[str]) -> str | None:
+    """The first positional token if it is not in ``vocab``, else None.
+
+    Everything after a recognised subcommand/experiment id is that
+    command's own business (file paths, more experiment ids) and is not
+    checked here.
+    """
+    i = 0
+    while i < len(tokens):
+        tok = tokens[i]
+        if tok.startswith("#") or tok in ("|", "||", "&&", ";", ">", ">>",
+                                          "2>", "<"):
+            return None            # comment, or a pipeline continues
+        if tok.startswith("-"):
+            if "=" not in tok and tok in flags:
+                i += 1             # skip the flag's value token
+        else:
+            if tok in vocab or not _ID_SHAPE.fullmatch(tok):
+                return None
+            return tok
+        i += 1
+    return None
+
+
+def check_commands() -> list[str]:
+    """Flag fenced shell examples that name unknown subcommands."""
+    errors: list[str] = []
+    vocabulary = _cli_vocabulary()
+    for md in _markdown_files():
+        in_fence = False
+        shell_fence = False
+        for lineno, line in enumerate(md.read_text().splitlines(), 1):
+            fence = _CODE_FENCE.match(line)
+            if fence:
+                in_fence = not in_fence
+                shell_fence = in_fence and fence.group(2) in _SHELL_LANGS
+                continue
+            if not (in_fence and shell_fence):
+                continue
+            tokens = line.strip().split()
+            if tokens and tokens[0] == "$":
+                tokens = tokens[1:]
+            while tokens and _ENV_ASSIGN.match(tokens[0]):
+                tokens = tokens[1:]
+            found = _find_command(tokens)
+            if found is None:
+                continue
+            command, start = found
+            vocab, flags = vocabulary[command]
+            bad = _bad_positional(tokens[start:], vocab, flags)
+            if bad is not None:
+                errors.append(
+                    f"{md.relative_to(REPO)}:{lineno}: {command} has no "
+                    f"subcommand or experiment {bad!r}")
+    return errors
 
 
 def _github_slug(heading: str) -> str:
@@ -98,15 +208,16 @@ def check() -> list[str]:
 
 
 def main() -> int:
-    errors = check()
+    errors = check() + check_commands()
     for error in errors:
         print(error, file=sys.stderr)
     files = len(_markdown_files())
     if errors:
-        print(f"{len(errors)} broken link(s) across {files} markdown "
+        print(f"{len(errors)} problem(s) across {files} markdown "
               f"file(s)", file=sys.stderr)
         return 1
-    print(f"{files} markdown file(s): all links and anchors resolve")
+    print(f"{files} markdown file(s): all links, anchors, and shell "
+          f"examples check out")
     return 0
 
 

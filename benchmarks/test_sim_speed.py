@@ -133,3 +133,43 @@ def test_disabled_tracer_overhead_under_3_percent():
             return
     assert disabled <= enabled * 1.03, (
         f"disabled-tracer run {disabled:.4f}s vs traced {enabled:.4f}s")
+
+
+def test_watchdog_overhead_under_5_percent():
+    """Always-on invariant watchdogs must cost under ~5% on a server load.
+
+    Compares a traced Figure-8-shaped *server* run (the workload that
+    actually emits flight-recorder events — connections, SMTP phases,
+    forks, deliveries) against the same run with the ring recorder and
+    the invariant engine attached.  ``--watchdogs`` is the CLI default,
+    so this bound is what every ``repro-experiments`` run pays.
+    """
+    from repro.clients import run_closed
+    from repro.server import MailServerSim, ServerConfig
+    from repro.traces import bounce_sweep_trace
+
+    trace = bounce_sweep_trace(0.4, n_connections=600, unfinished_ratio=0.1)
+
+    def run(**kwargs):
+        with capture(keep_spans=False, **kwargs) as tr:
+            run_closed(trace,
+                       lambda s: MailServerSim(s, ServerConfig.hybrid()),
+                       concurrency=150)
+        return tr
+
+    def plain():
+        run()
+
+    def watched():
+        tr = run(watchdogs=True)
+        assert tr.invariants.finish() == []
+
+    plain()
+    watched()  # warm up
+    for attempt in range(4):
+        off = _best_of(plain, 3)
+        on = _best_of(watched, 3)
+        if on <= off * 1.05:
+            return
+    assert on <= off * 1.05, (
+        f"watchdog run {on:.4f}s vs plain traced run {off:.4f}s")

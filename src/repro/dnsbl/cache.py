@@ -31,7 +31,7 @@ from collections import OrderedDict
 from typing import Any, Optional
 
 from ..obs.contract import declare
-from ..obs.trace import active_registry
+from ..obs.trace import active_registry, tracer
 
 __all__ = ["TtlCache", "CacheStats"]
 
@@ -90,6 +90,8 @@ class TtlCache:
             self._c_evictions = declare(reg, "dnsbl.cache.evictions")
         else:
             self._c_hits = None
+        tr = tracer()
+        self._rec = tr.recorder if tr.enabled else None
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -110,6 +112,9 @@ class TtlCache:
             if self._c_hits is not None:
                 self._c_expirations.inc()
                 self._c_misses.inc()
+            if self._rec is not None:
+                self._rec.emit("dnsbl.drop", now,
+                               attrs={"key": str(key), "reason": "expired"})
             return None
         self._entries.move_to_end(key)
         self.stats.hits += 1
@@ -130,10 +135,14 @@ class TtlCache:
             self._entries.move_to_end(key)
         self._entries[key] = (now, value)
         while len(self._entries) > self.max_entries:
-            self._entries.popitem(last=False)
+            evicted, _ = self._entries.popitem(last=False)
             self.stats.evictions += 1
             if self._c_hits is not None:
                 self._c_evictions.inc()
+            if self._rec is not None:
+                self._rec.emit("dnsbl.drop", now,
+                               attrs={"key": str(evicted),
+                                      "reason": "evicted"})
 
     def purge_expired(self, now: float) -> int:
         """Drop all expired entries; returns how many were dropped."""
@@ -141,6 +150,9 @@ class TtlCache:
                    if now - t > self.ttl]
         for key in expired:
             del self._entries[key]
+            if self._rec is not None:
+                self._rec.emit("dnsbl.drop", now,
+                               attrs={"key": str(key), "reason": "expired"})
         self.stats.expirations += len(expired)
         if expired and self._c_hits is not None:
             self._c_expirations.inc(len(expired))

@@ -22,7 +22,7 @@ from typing import Optional, Protocol
 
 from ..errors import DnsError
 from ..obs.contract import declare
-from ..obs.trace import active_registry
+from ..obs.trace import active_registry, tracer
 from ..sim.random import RngStream
 from .bitmap import (bitmap_bit_for_ip, bitmap_test, ip_query_name,
                      prefix_query_name, split_ip)
@@ -119,6 +119,12 @@ class DnsblResolver:
         else:
             self._c_wire = None
             self._c_prefix_fills = None
+        tr = tracer()
+        self._rec = tr.recorder if tr.enabled else None
+
+    def _event_key(self, key: object) -> str:
+        """The flight-recorder cache-line name: zone-qualified and stable."""
+        return f"{self.server.zone.origin}/{key}"
 
     @property
     def cache_stats(self) -> CacheStats:
@@ -141,9 +147,13 @@ class DnsblResolver:
         key = self.strategy.cache_key(ip)
         cached = self.cache.get(key, now)
         if cached is not None:
-            return LookupResult(
-                ip=ip, listed=self.strategy.is_listed(ip, cached.value),
-                cache_hit=True, latency=0.0)
+            listed = self.strategy.is_listed(ip, cached.value)
+            if self._rec is not None:
+                self._rec.emit("dnsbl.lookup", now,
+                               attrs={"ip": ip, "key": self._event_key(key),
+                                      "hit": True, "listed": listed})
+            return LookupResult(ip=ip, listed=listed,
+                                cache_hit=True, latency=0.0)
         query = self.strategy.query(ip, self.server.zone.origin)
         self.queries_sent += 1
         if self._c_wire is not None:
@@ -157,7 +167,22 @@ class DnsblResolver:
         self.cache.put(key, _Cached(value), now)
         latency = (self.latency_model.sample(self.rng)
                    if self.latency_model else 0.0)
-        return LookupResult(ip=ip, listed=self.strategy.is_listed(ip, value),
+        listed = self.strategy.is_listed(ip, value)
+        if self._rec is not None:
+            event_key = self._event_key(key)
+            # the fill carries the authoritative value so the coherence
+            # watchdog can re-derive every later cache hit's verdict
+            # prefix caches the whole /25 bitmap; other strategies cache a
+            # listing code, flattened here to its 0/1 listed meaning
+            authoritative = (int(value) if self.strategy.name == "prefix"
+                             else int(listed))
+            self._rec.emit("dnsbl.fill", now,
+                           attrs={"key": event_key, "value": authoritative,
+                                  "strategy": self.strategy.name})
+            self._rec.emit("dnsbl.lookup", now,
+                           attrs={"ip": ip, "key": event_key,
+                                  "hit": False, "listed": listed})
+        return LookupResult(ip=ip, listed=listed,
                             cache_hit=False, latency=latency,
                             queried_name=query.questions[0].name,
                             queries_issued=1)

@@ -160,12 +160,34 @@ def compare(old_path: str, new_path: str,
     wall time growing by that much.  Informational entries (tracing
     overhead, RSS) are reported but never flagged — they are too noisy to
     gate on.
+
+    Artifacts from different schema revisions line up on the
+    *intersection* of their fields: an entry present in only one artifact
+    is reported as a warning and skipped, never compared against a
+    made-up zero, so an old baseline stays usable after new fields join
+    the schema.
     """
     old = json.loads(Path(old_path).read_text())
     new = json.loads(Path(new_path).read_text())
     lines = [f"repro-bench compare (threshold {threshold:g}%)",
              f"{'entry':<28}{'old':>14}{'new':>14}{'delta':>9}"]
     regressions: list[str] = []
+    warnings: list[str] = []
+    if old.get("schema") != new.get("schema"):
+        warnings.append(f"schema {old.get('schema')!r} vs "
+                        f"{new.get('schema')!r} — comparing shared "
+                        "fields only")
+    for side, extra in (("old", sorted(set(old) - set(new))),
+                        ("new", sorted(set(new) - set(old)))):
+        if extra:
+            warnings.append(f"only in {side} artifact (skipped): "
+                            + ", ".join(extra))
+    fig_old = set(old.get("figures", {}))
+    fig_new = set(new.get("figures", {}))
+    for exp_id in sorted(fig_old ^ fig_new):
+        side = "old" if exp_id in fig_old else "new"
+        warnings.append(f"figures.{exp_id} only in {side} artifact "
+                        "(skipped)")
 
     def row(name, old_v, new_v, flag):
         delta = (new_v - old_v) / old_v * 100.0 if old_v else 0.0
@@ -176,11 +198,12 @@ def compare(old_path: str, new_path: str,
             regressions.append(name)
 
     for name in _HIGHER_BETTER:
-        old_v, new_v = old.get(name, 0), new.get(name, 0)
+        if name not in old or name not in new:
+            continue               # covered by the asymmetry warnings
+        old_v, new_v = old[name], new[name]
         row(name, old_v, new_v,
             bool(old_v) and new_v < old_v * (1 - threshold / 100.0))
-    for exp_id in sorted(set(old.get("figures", {}))
-                         & set(new.get("figures", {}))):
+    for exp_id in sorted(fig_old & fig_new):
         old_v = old["figures"][exp_id]
         new_v = new["figures"][exp_id]
         row(f"figures.{exp_id} (s)", old_v, new_v,
@@ -188,6 +211,8 @@ def compare(old_path: str, new_path: str,
     for name in ("tracing_overhead_pct", "peak_rss_kb"):
         if name in old and name in new:
             row(name, old[name], new[name], False)
+    for warning in warnings:
+        lines.append(f"warning: {warning}")
     if regressions:
         lines.append(f"{len(regressions)} regression(s): "
                      + ", ".join(regressions))

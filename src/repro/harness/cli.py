@@ -8,9 +8,11 @@ Examples::
     repro-experiments --clear-cache
     repro-experiments fig8 --profile
     repro-experiments fig8 --trace fig8.jsonl --series fig8.series
+    repro-experiments fig8 --record fig8.events.jsonl.gz
     repro-experiments fig8 --live
     repro-experiments trace-report fig8.jsonl
     repro-experiments series-report fig8.series
+    repro-experiments diff-report good.events.jsonl bad.events.jsonl
 """
 
 from __future__ import annotations
@@ -19,7 +21,9 @@ import argparse
 import sys
 from pathlib import Path
 
-from ..obs.export import read_trace, write_trace
+from ..obs.diff import DEFAULT_CONTEXT, diff_report
+from ..obs.export import TraceFormatError, read_trace, write_trace
+from ..obs.invariants import violation_report
 from ..obs.report import trace_report
 from ..obs.timeseries import LiveDashboard, series_report
 from .cache import ResultCache
@@ -37,6 +41,8 @@ SUBCOMMANDS = {
                     "reconciliation)",
     "series-report": "summarise a time-series file (goodput over time, "
                      "warm-up detection)",
+    "diff-report": "align two flight recordings and name the first "
+                   "diverging event per connection",
 }
 
 
@@ -79,6 +85,16 @@ def build_parser() -> argparse.ArgumentParser:
                         metavar="SECONDS",
                         help="sampling window in simulated seconds for "
                              "--series/--live (default: 1.0)")
+    parser.add_argument("--record", metavar="OUT", default=None,
+                        help="flight-record every structured event while "
+                             "running and write the stream to OUT (.jsonl "
+                             "or .csv, optionally .gz; bypasses the result "
+                             "cache)")
+    parser.add_argument("--watchdogs", default=True,
+                        action=argparse.BooleanOptionalAction,
+                        help="run the online invariant watchdogs over a "
+                             "bounded event ring (default: on; violations "
+                             "are reported and fail the run)")
     parser.add_argument("--live", action="store_true",
                         help="render a live per-window dashboard while "
                              "running (needs --jobs 1)")
@@ -113,7 +129,7 @@ def _trace_report_cmd(argv: list[str]) -> int:
         return 2
     try:
         records = read_trace(argv[0])
-    except OSError as exc:
+    except (OSError, TraceFormatError) as exc:
         print(f"cannot read trace: {exc}", file=sys.stderr)
         return 2
     text, all_ok = trace_report(records)
@@ -131,11 +147,42 @@ def _series_report_cmd(argv: list[str]) -> int:
         return 2
     try:
         records = read_trace(argv[0])
-    except OSError as exc:
+    except (OSError, TraceFormatError) as exc:
         print(f"cannot read series: {exc}", file=sys.stderr)
         return 2
     print(series_report(records))
     return 0
+
+
+def _diff_report_cmd(argv: list[str]) -> int:
+    """``repro-experiments diff-report A B``: first divergence per stream.
+
+    Exit status: 0 when the recordings agree, 1 when they diverge, 2 when
+    either file cannot be read.
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments diff-report",
+        description="Align two flight recordings by (experiment, run, "
+                    "connection) and report the first diverging event of "
+                    "each stream.")
+    parser.add_argument("a", metavar="A", help="baseline recording")
+    parser.add_argument("b", metavar="B", help="recording to compare")
+    parser.add_argument("--context", type=int, default=DEFAULT_CONTEXT,
+                        metavar="K",
+                        help="events of context around each divergence "
+                             f"(default: {DEFAULT_CONTEXT})")
+    args = parser.parse_args(argv)
+    try:
+        a_records = read_trace(args.a)
+        b_records = read_trace(args.b)
+    except (OSError, TraceFormatError) as exc:
+        print(f"cannot read recording: {exc}", file=sys.stderr)
+        return 2
+    text, n_diverging = diff_report(a_records, b_records,
+                                    a_name=args.a, b_name=args.b,
+                                    context=args.context)
+    print(text)
+    return 1 if n_diverging else 0
 
 
 def main(argv=None) -> int:
@@ -145,6 +192,8 @@ def main(argv=None) -> int:
         return _trace_report_cmd(list(argv[1:]))
     if argv and argv[0] == "series-report":
         return _series_report_cmd(list(argv[1:]))
+    if argv and argv[0] == "diff-report":
+        return _diff_report_cmd(list(argv[1:]))
     args = build_parser().parse_args(argv)
     if args.list:
         for exp_id, cls in EXPERIMENTS.items():
@@ -163,7 +212,7 @@ def main(argv=None) -> int:
         return 2
     # refuse to silently clobber a previous capture — with --jobs N it is
     # too easy to overwrite the file another invocation is still reading
-    for out in (args.trace, args.series):
+    for out in (args.trace, args.series, args.record):
         if out and Path(out).exists() and not args.force:
             print(f"refusing to overwrite existing {out!r}; move it away "
                   "or pass --force", file=sys.stderr)
@@ -184,21 +233,36 @@ def main(argv=None) -> int:
     series_on = args.series is not None or args.live
     dashboard = LiveDashboard(sys.stdout, interval=args.series_interval) \
         if args.live else None
-    # a cached result carries no spans or samples, so capturing runs fresh
-    cache = None if (args.no_cache or args.trace or series_on) \
-        else ResultCache()
+    # a cached result carries no spans, samples or events, so capturing
+    # runs fresh
+    cache = None if (args.no_cache or args.trace or series_on
+                     or args.record) else ResultCache()
     try:
         outcomes = run_experiments(
             chosen, args.scale, jobs=args.jobs, cache=cache,
             traced=args.trace is not None,
             series_interval=args.series_interval if series_on else None,
-            on_sample=dashboard.on_sample if dashboard else None)
+            on_sample=dashboard.on_sample if dashboard else None,
+            record=args.record is not None,
+            watchdogs=args.watchdogs)
     except ExperimentFailure as exc:
         if dashboard:
             dashboard.close()
         print(f"error: {exc}", file=sys.stderr)
         print("--- worker traceback ---", file=sys.stderr)
         print(exc.worker_traceback.rstrip(), file=sys.stderr)
+        if exc.recorder_tail:
+            print(f"--- flight recorder: last {len(exc.recorder_tail)} "
+                  "event(s) before the crash ---", file=sys.stderr)
+            for record in exc.recorder_tail:
+                attrs = record.get("attrs") or {}
+                attr_text = " ".join(f"{k}={v}"
+                                     for k, v in sorted(attrs.items()))
+                print(f"  seq {record.get('seq'):>6} "
+                      f"t={record.get('t', 0.0):>10.4f} "
+                      f"run {record.get('run')} conn {record.get('conn')} "
+                      f"{record.get('kind'):<14} {attr_text}",
+                      file=sys.stderr)
         return 1
     if dashboard:
         dashboard.close()
@@ -221,11 +285,21 @@ def main(argv=None) -> int:
         n = write_trace(args.series,
                         (r for o in outcomes for r in o.series))
         print(f"wrote {n} series record(s) to {args.series}")
+    if args.record:
+        n = write_trace(args.record,
+                        (r for o in outcomes for r in o.events))
+        print(f"wrote {n} event record(s) to {args.record}")
+    violations = [v for o in outcomes for v in o.violations]
+    if violations:
+        print(violation_report(violations), file=sys.stderr)
     if args.write_md:
         write_experiments_md(results, args.write_md)
         print(f"wrote {args.write_md}")
     if failures:
         print(f"{failures} anchor(s) did not hold", file=sys.stderr)
+        return 1
+    if violations:
+        print(f"{len(violations)} invariant violation(s)", file=sys.stderr)
         return 1
     return 0
 

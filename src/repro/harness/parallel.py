@@ -47,15 +47,24 @@ class RunOutcome:
     cached: bool
     records: list = field(default_factory=list)  # trace records (traced runs)
     series: list = field(default_factory=list)   # time-series records
+    events: list = field(default_factory=list)   # flight-recorder records
+    violations: list = field(default_factory=list)  # invariant violations
 
 
 class ExperimentFailure(RuntimeError):
-    """An experiment crashed; carries the worker's formatted traceback."""
+    """An experiment crashed; carries the worker's formatted traceback.
 
-    def __init__(self, exp_id: str, message: str, worker_traceback: str):
+    When the crashed run had a flight recorder attached,
+    ``recorder_tail`` holds the last ring-buffered events leading up to
+    the crash (newest last) so the post-mortem starts with context.
+    """
+
+    def __init__(self, exp_id: str, message: str, worker_traceback: str,
+                 recorder_tail: Optional[list] = None):
         super().__init__(f"experiment {exp_id!r} failed: {message}")
         self.exp_id = exp_id
         self.worker_traceback = worker_traceback
+        self.recorder_tail = recorder_tail or []
 
 
 @dataclass
@@ -65,55 +74,83 @@ class _Failure:
     exp_id: str
     message: str
     traceback: str
+    recorder_tail: list = field(default_factory=list)
+
+
+#: ring-buffer events shipped back with a worker crash
+CRASH_TAIL_EVENTS = 32
 
 
 def _run_one(task: tuple, on_sample=None) -> tuple:
     """Pool worker: run one experiment (top-level for pickling).
 
-    Returns ``(exp_id, result-or-_Failure, elapsed, records, series)``.
-    ``on_sample`` only exists on the serial path — callbacks do not cross
-    the process boundary.
+    Returns ``(exp_id, result-or-_Failure, elapsed, records, series,
+    events, violations)``.  ``on_sample`` only exists on the serial path —
+    callbacks do not cross the process boundary.
     """
     from .figures import EXPERIMENTS
 
-    exp_id, scale, traced, series_interval = task
+    exp_id, scale, traced, series_interval, record, watchdogs = task
     start = time.perf_counter()
     records: list = []
     series: list = []
+    events: list = []
+    violations: list = []
+    tr = None
     try:
-        if traced or series_interval is not None:
+        if traced or series_interval is not None or record or watchdogs:
+            # spans are only kept when the caller asked for a trace; a
+            # watchdog/record-only capture stays bounded on long runs
             with capture(context={"exp": exp_id},
                          series_interval=series_interval,
-                         on_sample=on_sample) as tr:
+                         on_sample=on_sample,
+                         record=record, watchdogs=watchdogs,
+                         keep_spans=traced) as tr:
                 result = EXPERIMENTS[exp_id]().run(scale=scale)
             if traced:
                 records = list(tr.records())
             if series_interval is not None:
                 series = list(tr.series_records())
+            if record:
+                events = list(tr.record_records())
+            if tr.invariants is not None:
+                violations = tr.invariants.finish()
         else:
             result = EXPERIMENTS[exp_id]().run(scale=scale)
     except Exception as exc:
+        tail: list = []
+        if tr is not None and tr.recorder is not None:
+            # flush the ring so the post-mortem starts with context
+            tail = tr.recorder.tail(CRASH_TAIL_EVENTS,
+                                    context={"exp": exp_id})
         failure = _Failure(exp_id, f"{type(exc).__name__}: {exc}",
-                           _traceback.format_exc())
-        return exp_id, failure, time.perf_counter() - start, [], []
-    return exp_id, result, time.perf_counter() - start, records, series
+                           _traceback.format_exc(), recorder_tail=tail)
+        return exp_id, failure, time.perf_counter() - start, [], [], [], []
+    return (exp_id, result, time.perf_counter() - start, records, series,
+            events, violations)
 
 
 def run_experiments(exp_ids: Sequence[str], scale: str, jobs: int = 1,
                     cache: Optional[ResultCache] = None,
                     traced: bool = False,
                     series_interval: Optional[float] = None,
-                    on_sample=None) -> list[RunOutcome]:
+                    on_sample=None,
+                    record: bool = False,
+                    watchdogs: bool = False) -> list[RunOutcome]:
     """Run ``exp_ids`` at ``scale`` with up to ``jobs`` worker processes.
 
     Cached results are returned without running anything; fresh results are
     written back to ``cache``.  The returned list matches ``exp_ids`` order.
-    ``traced=True`` captures a trace per experiment and ``series_interval``
-    additionally samples every registry at that simulated-time interval
-    (bypass the cache for either — cached results carry no records).
+    ``traced=True`` captures a trace per experiment, ``series_interval``
+    additionally samples every registry at that simulated-time interval,
+    ``record=True`` captures the full flight-recorder event stream, and
+    ``watchdogs=True`` runs the online invariant engine over a bounded ring
+    (bypass the cache for trace/series/record — cached results carry no
+    records).
 
     Raises :class:`ExperimentFailure` for the first crashing experiment (in
-    request order), with the worker's traceback attached.
+    request order), with the worker's traceback — and, when a recorder was
+    attached, the last ring-buffered events — attached.
     """
     outcomes: dict[str, RunOutcome] = {}
     pending: list[str] = []
@@ -125,7 +162,7 @@ def run_experiments(exp_ids: Sequence[str], scale: str, jobs: int = 1,
             pending.append(exp_id)
 
     if pending:
-        tasks = [(exp_id, scale, traced, series_interval)
+        tasks = [(exp_id, scale, traced, series_interval, record, watchdogs)
                  for exp_id in pending]
         if jobs > 1 and len(pending) > 1:
             with multiprocessing.Pool(min(jobs, len(pending))) as pool:
@@ -139,12 +176,15 @@ def run_experiments(exp_ids: Sequence[str], scale: str, jobs: int = 1,
             first = next(e for e in pending if e in failures)
             failure = failures[first]
             raise ExperimentFailure(failure.exp_id, failure.message,
-                                    failure.traceback)
-        for exp_id, result, elapsed, records, series in finished:
+                                    failure.traceback,
+                                    recorder_tail=failure.recorder_tail)
+        for (exp_id, result, elapsed, records, series,
+             events, violations) in finished:
             if cache is not None:
                 cache.put(result)
             outcomes[exp_id] = RunOutcome(result=result, elapsed=elapsed,
                                           cached=False, records=records,
-                                          series=series)
+                                          series=series, events=events,
+                                          violations=violations)
 
     return [outcomes[exp_id] for exp_id in exp_ids]

@@ -38,7 +38,7 @@ from pathlib import Path
 
 from ..errors import MfsError, StorageError
 from ..obs.contract import declare
-from ..obs.trace import active_registry
+from ..obs.trace import active_registry, tracer
 from ..smtp.message import MailMessage
 from ..storage.base import MailboxStore, StoredMail
 from ..storage.diskmodel import IoKind, IoOp
@@ -69,6 +69,15 @@ class MfsStore(MailboxStore):
             self._h_payload = declare(reg, "mfs.payload.bytes")
         else:
             self._c_single = None
+        tr = tracer()
+        self._rec = tr.recorder if tr.enabled else None
+        # mfs.* events carry the store instance number in their conn field
+        # (the store has no simulated clock or connection of its own)
+        self._store_id = (self._rec.register_store()
+                          if self._rec is not None else 0)
+
+    def _emit(self, kind: str, attrs: dict) -> None:
+        self._rec.emit(kind, 0.0, 0, self._store_id, attrs)
 
     # -- handle management ----------------------------------------------------
     def open_mailbox(self, mailbox: str, mode: str = "a") -> MailFile:
@@ -78,6 +87,8 @@ class MfsStore(MailboxStore):
             handle = MailFile(self.root / "mailboxes", mailbox, self.shared,
                               mode=mode)
             self._open[mailbox] = handle
+            if self._rec is not None:
+                self._emit("mfs.open", {"mailbox": mailbox})
         return handle
 
     def close(self) -> None:
@@ -108,6 +119,9 @@ class MfsStore(MailboxStore):
         if len(mailboxes) == 1:
             handle = self.open_mailbox(mailboxes[0])
             handle.write(message.mail_id, payload)
+            if self._rec is not None:
+                self._emit("mfs.write", {"mailbox": mailboxes[0],
+                                         "bytes": len(payload)})
             return [
                 IoOp(IoKind.APPEND, DATA_HEADER_SIZE + len(payload),
                      target="mailbox_data"),
@@ -146,6 +160,18 @@ class MfsStore(MailboxStore):
             handle.add_shared_ref(mail_id, offset)
             ops.append(IoOp(IoKind.APPEND, KEY_RECORD_SIZE,
                             target="mailbox_key"))
+        if self._rec is not None:
+            # authoritative post-state travels with the event so the
+            # refcount watchdog can reconcile without touching the store
+            refcount = self.shared.keys.get(mail_id).refcount
+            self._emit("mfs.nwrite",
+                       {"mail_id": mail_id, "rcpts": len(mailboxes),
+                        "bytes": len(payload), "dedup": was_present,
+                        "refcount": refcount,
+                        "store_bytes": self.shared.data.size()})
+            self._emit("mfs.refcount",
+                       {"mail_id": mail_id, "delta": len(mailboxes),
+                        "refcount": refcount})
         return ops
 
     def list_mailbox(self, mailbox: str) -> list[str]:
@@ -163,11 +189,23 @@ class MfsStore(MailboxStore):
         entry = handle.keys.get(mail_id)
         if entry is None:
             raise StorageError(f"mail {mail_id!r} not in {mailbox!r}")
+        if self._rec is not None and entry.is_shared:
+            # capture the pre-delete shared refcount: decref below may
+            # tombstone the shared entry entirely
+            shared_entry = self.shared.keys.get(mail_id)
+            old_refcount = shared_entry.refcount if shared_entry else 0
         handle.delete(mail_id)
         ops = [IoOp(IoKind.UPDATE, KEY_RECORD_SIZE, target="mailbox_key")]
         if entry.is_shared:
             ops.append(IoOp(IoKind.UPDATE, KEY_RECORD_SIZE,
                             target="shmailbox_key"))
+        if self._rec is not None:
+            self._emit("mfs.delete", {"mailbox": mailbox, "mail_id": mail_id,
+                                      "shared": entry.is_shared})
+            if entry.is_shared:
+                self._emit("mfs.refcount",
+                           {"mail_id": mail_id, "delta": -1,
+                            "refcount": old_refcount - 1})
         return ops
 
     # -- statistics ----------------------------------------------------------

@@ -29,10 +29,15 @@ False
 'meta'
 """
 
-from .contract import (BENCH_FIELDS, METRICS, SERIES_FIELDS, SPANS, declare)
+from .contract import (BENCH_FIELDS, EVENTS, INVARIANTS, METRICS,
+                       SERIES_FIELDS, SPANS, declare)
 from .critical_path import (CriticalPathAnalysis, analyze_critical_path,
                             critical_path_report)
-from .export import read_trace, write_trace
+from .diff import Divergence, diff_records, diff_report
+from .export import TraceFormatError, read_trace, write_trace
+from .flightrec import RECORD_VERSION, FlightRecorder
+from .invariants import (InvariantEngine, InvariantViolation, check_events,
+                         violation_report)
 from .metrics import (Counter, Gauge, Histogram, MetricsRegistry, ObsError)
 from .report import reconcile, trace_report
 from .timeseries import LiveDashboard, SeriesCursor, series_report
@@ -41,10 +46,16 @@ from .trace import (NULL_TRACER, NullTracer, Tracer, active_registry,
 
 __all__ = [
     "Counter", "Gauge", "Histogram", "MetricsRegistry", "ObsError",
-    "METRICS", "SPANS", "SERIES_FIELDS", "BENCH_FIELDS", "declare",
+    "METRICS", "SPANS", "EVENTS", "INVARIANTS", "SERIES_FIELDS",
+    "BENCH_FIELDS", "declare",
     "Tracer", "NullTracer", "NULL_TRACER", "tracer", "active_registry",
     "capture",
-    "write_trace", "read_trace", "trace_report", "reconcile",
+    "write_trace", "read_trace", "TraceFormatError",
+    "trace_report", "reconcile",
     "SeriesCursor", "LiveDashboard", "series_report",
     "CriticalPathAnalysis", "analyze_critical_path", "critical_path_report",
+    "FlightRecorder", "RECORD_VERSION",
+    "Divergence", "diff_records", "diff_report",
+    "InvariantEngine", "InvariantViolation", "check_events",
+    "violation_report",
 ]

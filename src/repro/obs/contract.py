@@ -17,7 +17,8 @@ from dataclasses import dataclass, field
 
 from .metrics import MetricsRegistry, ObsError
 
-__all__ = ["SpanSpec", "MetricSpec", "SPANS", "METRICS", "SERIES_FIELDS",
+__all__ = ["SpanSpec", "MetricSpec", "EventSpec", "InvariantSpec", "SPANS",
+           "METRICS", "EVENTS", "INVARIANTS", "SERIES_FIELDS",
            "BENCH_FIELDS", "declare"]
 
 
@@ -27,6 +28,21 @@ class SpanSpec:
 
     help: str
     attrs: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class EventSpec:
+    """One flight-recorder event kind: its attribute names and meaning."""
+
+    help: str
+    attrs: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class InvariantSpec:
+    """One online invariant watchdog: the law it checks."""
+
+    help: str
 
 
 @dataclass(frozen=True)
@@ -75,6 +91,103 @@ SPANS: dict[str, SpanSpec] = {
         "Queue manager + local delivery of one accepted mail to all its "
         "recipient mailboxes.",
         attrs=("rcpts", "bytes")),
+}
+
+
+#: Flight-recorder event kinds (see :mod:`repro.obs.flightrec`).  Every
+#: event record carries ``(seq, t, run, conn, kind, attrs)``: ``seq`` is a
+#: per-capture monotonic counter, ``t`` is simulated seconds on the emitting
+#: clock (0.0 for clock-less subsystems such as the real-filesystem MFS
+#: store), ``run`` is the server run id (0 for capture-level subsystems) and
+#: ``conn`` is the per-server connection id — except for ``mfs.*`` events,
+#: where ``conn`` carries the store instance number instead.
+EVENTS: dict[str, EventSpec] = {
+    "run.begin": EventSpec(
+        "One MailServerSim came up; anchors the run id to its architecture "
+        "so the invariant engine can apply per-architecture fork rules.",
+        attrs=("arch", "storage")),
+    "conn.open": EventSpec(
+        "The master accepted a connection.", attrs=("ip",)),
+    "conn.close": EventSpec(
+        "The session finished (same outcomes as the connection span).",
+        attrs=("outcome",)),    # accepted | bounce | unfinished | rejected
+    "smtp.mail": EventSpec(
+        "MAIL FROM processed; the FSM entered a new envelope.",
+        attrs=("rcpts",)),
+    "smtp.rcpt": EventSpec(
+        "RCPT TO answered (250 or bounce).", attrs=("valid",)),
+    "envelope.done": EventSpec(
+        "The envelope phase ended (trusted sessions continue into DATA).",
+        attrs=("mode", "outcome")),
+    "dnsbl.lookup": EventSpec(
+        "One provider resolved a client IP (cache hit or wire query).",
+        attrs=("ip", "key", "hit", "listed")),
+    "dnsbl.fill": EventSpec(
+        "A wire miss filled the cache: the authoritative value now cached "
+        "under ``key`` (an int bitmap for the prefix strategy, 0/1 for ip).",
+        attrs=("key", "value", "strategy")),
+    "dnsbl.drop": EventSpec(
+        "A cache entry was dropped (TTL expiry or LRU eviction).",
+        attrs=("key", "reason")),
+    "fork": EventSpec(
+        "The master forked a fresh smtpd (vanilla architecture).",
+        attrs=("pid",)),
+    "delegate": EventSpec(
+        "Fork-after-trust handoff to a pooled worker (hybrid).",
+        attrs=("depth",)),
+    "data": EventSpec(
+        "DATA accepted and queued; one event per accepted mail.",
+        attrs=("bytes",)),
+    "delivery": EventSpec(
+        "One queued mail delivered to all its recipient mailboxes.",
+        attrs=("rcpts", "bytes")),
+    "mfs.open": EventSpec(
+        "mail_open: a mailbox handle was created (real-filesystem MFS).",
+        attrs=("mailbox",)),
+    "mfs.write": EventSpec(
+        "Single-recipient mail_write into a private mailbox.",
+        attrs=("mailbox", "bytes")),
+    "mfs.nwrite": EventSpec(
+        "mail_nwrite: one shared copy, ``rcpts`` key-file pointers; "
+        "``refcount`` and ``store_bytes`` are the authoritative post-state.",
+        attrs=("mail_id", "rcpts", "bytes", "dedup", "refcount",
+               "store_bytes")),
+    "mfs.refcount": EventSpec(
+        "The shared refcount moved by ``delta``; ``refcount`` is the "
+        "authoritative value after the change.",
+        attrs=("mail_id", "delta", "refcount")),
+    "mfs.delete": EventSpec(
+        "mail_delete tombstoned a mail in one mailbox.",
+        attrs=("mailbox", "mail_id", "shared")),
+    "kernel.run": EventSpec(
+        "One Simulator.run call drained (deterministic totals only).",
+        attrs=("events", "steps")),
+}
+
+
+#: Online invariant watchdogs (see :mod:`repro.obs.invariants`).  Each key
+#: names a typed :class:`~repro.obs.invariants.InvariantViolation` family;
+#: the engine evaluates them incrementally from the flight-recorder event
+#: stream, so a corrupted run is caught at (or near) the corrupting event.
+INVARIANTS: dict[str, InvariantSpec] = {
+    "mfs-refcount": InvariantSpec(
+        "Shared-store conservation: the authoritative refcount equals the "
+        "live key-file pointers created by nwrites minus shared deletes, "
+        "never negative, and shared store bytes equal the sum of the "
+        "non-dedup shared payloads (headers included)."),
+    "fork-ledger": InvariantSpec(
+        "Fork-after-trust bookkeeping: a hybrid connection is delegated "
+        "exactly once iff it was accepted (bounce/unfinished/rejected "
+        "sessions never leave the master and never fork); vanilla "
+        "connections are never delegated and fork at most once."),
+    "dnsbl-coherence": InvariantSpec(
+        "Cache coherence: a cache-hit lookup's listed verdict matches the "
+        "authoritative value recorded when that cache line was filled "
+        "(bitmap bit for the prefix strategy, listing code for ip)."),
+    "queue-conservation": InvariantSpec(
+        "Flow conservation (Little's-law balance): closes never exceed "
+        "opens, deliveries never exceed queued mails, and in-flight "
+        "counts are never negative at any point in the stream."),
 }
 
 

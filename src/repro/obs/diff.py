@@ -1,0 +1,176 @@
+"""Cross-run divergence diffing for flight recordings.
+
+Two recordings of the same experiment and seed must be identical; when they
+are not, the interesting question is never "how do the aggregates differ"
+but "which connection first did something different, and what".  This
+module aligns two recordings by ``(exp, run, conn)`` stream and compares
+each connection's events in order, classifying the first mismatch:
+
+* ``timing``   — same kind and attrs, different simulated time;
+* ``value``    — same kind at the same position, different attrs;
+* ``ordering`` — a different kind at the same position;
+* ``length``   — one stream ends while the other continues.
+
+The first divergence overall (smallest ``seq`` on the A side, B side as a
+tiebreak) is rendered with a ±K event context window from both recordings,
+turning "Figure 8 numbers moved" into "connection 1742 took the fork path
+at t=31.2 in A but was rejected at RCPT in B".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["Divergence", "diff_records", "diff_report"]
+
+#: events of surrounding context shown on each side of a divergence
+DEFAULT_CONTEXT = 5
+
+
+@dataclass
+class Divergence:
+    """One diverging position between two aligned connection streams."""
+
+    key: tuple                   # (exp, run, conn)
+    index: int                   # event position within the stream
+    kind: str                    # timing | value | ordering | length
+    a: Optional[dict]            # event record in A (None past the end)
+    b: Optional[dict]            # event record in B
+
+    @property
+    def seq(self) -> int:
+        """Global position for ordering: A's seq, else B's."""
+        record = self.a if self.a is not None else self.b
+        return record.get("seq", 0) if record else 0
+
+
+def _streams(records) -> dict[tuple, list[dict]]:
+    """Group event records by (exp, run, conn), preserving stream order."""
+    streams: dict[tuple, list[dict]] = {}
+    for record in records:
+        if record.get("type") != "event":
+            continue
+        key = (record.get("exp", ""), record.get("run", 0),
+               record.get("conn", 0))
+        streams.setdefault(key, []).append(record)
+    return streams
+
+
+def _classify(a: dict, b: dict) -> Optional[str]:
+    """How two same-position events differ, or None if they match."""
+    if a.get("kind") != b.get("kind"):
+        return "ordering"
+    if (a.get("attrs") or {}) != (b.get("attrs") or {}):
+        return "value"
+    if a.get("t") != b.get("t"):
+        return "timing"
+    return None
+
+
+def diff_records(a_records, b_records) -> list[Divergence]:
+    """All first-per-connection divergences between two recordings.
+
+    Each connection stream contributes at most its *first* divergence —
+    everything after it is downstream damage, not signal.
+    """
+    a_streams = _streams(a_records)
+    b_streams = _streams(b_records)
+    divergences: list[Divergence] = []
+    for key in sorted(set(a_streams) | set(b_streams)):
+        a_stream = a_streams.get(key, [])
+        b_stream = b_streams.get(key, [])
+        for i in range(max(len(a_stream), len(b_stream))):
+            a = a_stream[i] if i < len(a_stream) else None
+            b = b_stream[i] if i < len(b_stream) else None
+            if a is None or b is None:
+                divergences.append(Divergence(key, i, "length", a, b))
+                break
+            kind = _classify(a, b)
+            if kind is not None:
+                divergences.append(Divergence(key, i, kind, a, b))
+                break
+    divergences.sort(key=lambda d: (d.seq, d.key))
+    return divergences
+
+
+def _render_event(record: Optional[dict], marker: str = " ") -> str:
+    if record is None:
+        return f"    {marker} (stream ended)"
+    attrs = record.get("attrs") or {}
+    attr_text = " ".join(f"{k}={v}" for k, v in sorted(attrs.items()))
+    return (f"    {marker} seq {record.get('seq', 0):>6} "
+            f"t={record.get('t', 0.0):>10.4f} "
+            f"{record.get('kind', '?'):<14} {attr_text}")
+
+
+def _render_context(stream: list[dict], index: int, context: int,
+                    label: str) -> list[str]:
+    lines = [f"  context ({label}):"]
+    lo = max(0, index - context)
+    hi = min(len(stream), index + context + 1)
+    for i in range(lo, hi):
+        lines.append(_render_event(stream[i], ">" if i == index else " "))
+    if index >= len(stream):
+        lines.append(_render_event(None, ">"))
+    return lines
+
+
+def diff_report(a_records, b_records, a_name: str = "A", b_name: str = "B",
+                context: int = DEFAULT_CONTEXT) -> tuple[str, int]:
+    """Human-readable divergence report; returns ``(text, n_diverging)``."""
+    a_list = list(a_records)
+    b_list = list(b_records)
+    a_meta = next((r for r in a_list if r.get("type") == "meta"), {})
+    b_meta = next((r for r in b_list if r.get("type") == "meta"), {})
+    lines = [f"divergence report: {a_name} vs {b_name}"]
+    if a_meta.get("version") != b_meta.get("version"):
+        lines.append(f"  warning: format versions differ "
+                     f"({a_meta.get('version')} vs {b_meta.get('version')})")
+    if a_meta.get("dropped") or b_meta.get("dropped"):
+        lines.append("  warning: at least one recording is a ring tail "
+                     "(events were dropped); divergences may be missed")
+    a_streams = _streams(a_list)
+    b_streams = _streams(b_list)
+    n_a = sum(len(s) for s in a_streams.values())
+    n_b = sum(len(s) for s in b_streams.values())
+    lines.append(f"  events: {n_a} vs {n_b} · connection streams: "
+                 f"{len(a_streams)} vs {len(b_streams)}")
+    divergences = diff_records(a_list, b_list)
+    if not divergences:
+        lines.append("  no divergences — the recordings are equivalent")
+        return "\n".join(lines), 0
+    by_class: dict[str, int] = {}
+    for divergence in divergences:
+        by_class[divergence.kind] = by_class.get(divergence.kind, 0) + 1
+    lines.append(f"  {len(divergences)} diverging connection stream(s): "
+                 + ", ".join(f"{k}={v}" for k, v in sorted(by_class.items())))
+    first = divergences[0]
+    exp, run, conn = first.key
+    where = f"exp {exp!r} " if exp else ""
+    lines.append(f"  first divergence: {where}run {run} conn {conn} "
+                 f"event {first.index} — {first.kind}")
+    lines.append("  " + _describe(first, a_name, b_name))
+    lines += _render_context(a_streams.get(first.key, []), first.index,
+                             context, a_name)
+    lines += _render_context(b_streams.get(first.key, []), first.index,
+                             context, b_name)
+    return "\n".join(lines), len(divergences)
+
+
+def _describe(divergence: Divergence, a_name: str, b_name: str) -> str:
+    a, b = divergence.a, divergence.b
+    if divergence.kind == "length":
+        longer = a_name if a is not None else b_name
+        record = a if a is not None else b
+        return (f"{longer} continues with {record.get('kind')} at "
+                f"t={record.get('t', 0.0):.4f} while the other stream ended")
+    if divergence.kind == "timing":
+        return (f"{a.get('kind')} at t={a.get('t', 0.0):.4f} in {a_name} "
+                f"vs t={b.get('t', 0.0):.4f} in {b_name}")
+    if divergence.kind == "ordering":
+        return (f"{a_name} has {a.get('kind')} where {b_name} has "
+                f"{b.get('kind')} (t={a.get('t', 0.0):.4f} vs "
+                f"t={b.get('t', 0.0):.4f})")
+    return (f"{a.get('kind')} attrs differ: {a.get('attrs')} in {a_name} "
+            f"vs {b.get('attrs')} in {b_name}")

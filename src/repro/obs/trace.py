@@ -53,17 +53,33 @@ class Tracer:
     def __init__(self, registry: Optional[MetricsRegistry] = None,
                  context: Optional[dict] = None,
                  series_interval: Optional[float] = None,
-                 on_sample=None):
+                 on_sample=None, record: bool = False,
+                 watchdogs: bool = False, ring: Optional[int] = None,
+                 keep_spans: bool = True):
         self.registry = registry if registry is not None else MetricsRegistry()
         self.context = dict(context or {})
         self._runs: list[tuple[int, dict]] = []
         self._spans: list[tuple] = []
+        self._keep_spans = keep_spans
         self._metrics: list[tuple[int, dict]] = []
         self._samples: list[dict] = []
         self._next_run = 0
         self._next_sim = 0
         self.series_interval = series_interval
         self._on_sample = on_sample
+        # flight recorder + invariant watchdogs: ``record`` keeps the full
+        # stream (for --record dumps); watchdogs alone bound memory with a
+        # ring, keeping only violation/crash context
+        self.recorder = None
+        self.invariants = None
+        if record or watchdogs:
+            from .flightrec import DEFAULT_RING, FlightRecorder
+            self.recorder = FlightRecorder(
+                maxlen=None if record else (ring or DEFAULT_RING))
+            if watchdogs:
+                from .invariants import InvariantEngine
+                self.invariants = InvariantEngine(self.recorder)
+                self.recorder.on_event = self.invariants.observe
         self._kernel_events = declare(self.registry, "kernel.events")
         self._kernel_steps = declare(self.registry, "kernel.steps")
         self._kernel_wall = declare(self.registry, "kernel.wall_seconds")
@@ -84,7 +100,8 @@ class Tracer:
         if phase not in SPANS:
             raise ObsError(f"span phase {phase!r} is not in the "
                            "instrumentation contract (repro.obs.contract)")
-        self._spans.append((run, conn, phase, t0, t1, attrs))
+        if self._keep_spans:
+            self._spans.append((run, conn, phase, t0, t1, attrs))
 
     def emit_metrics(self, run: int, dump: dict) -> None:
         """Attach a metrics-registry dump to ``run``."""
@@ -142,6 +159,16 @@ class Tracer:
         for record in self._samples:
             yield {**record, **self.context}
 
+    def record_records(self) -> Iterator[dict]:
+        """Yield the flight recording as JSON-ready dicts (meta + events).
+
+        Event order is emission order — simulation order — so recordings,
+        like traces and series, are byte-identical at any ``--jobs``.
+        """
+        if self.recorder is None:
+            return iter(())
+        return self.recorder.records(self.context)
+
     def records(self) -> Iterator[dict]:
         """Yield the capture as JSON-ready dicts, deterministically ordered.
 
@@ -190,6 +217,8 @@ class NullTracer:
     enabled = False
     registry = None
     series_interval = None
+    recorder = None
+    invariants = None
 
     def set_context(self, **attrs: Any) -> None:
         pass
@@ -223,6 +252,9 @@ class NullTracer:
     def series_records(self) -> Iterator[dict]:
         return iter(())
 
+    def record_records(self) -> Iterator[dict]:
+        return iter(())
+
 
 NULL_TRACER = NullTracer()
 
@@ -246,7 +278,8 @@ def active_registry() -> Optional[MetricsRegistry]:
 @contextmanager
 def capture(context: Optional[dict] = None,
             series_interval: Optional[float] = None,
-            on_sample=None):
+            on_sample=None, record: bool = False, watchdogs: bool = False,
+            ring: Optional[int] = None, keep_spans: bool = True):
     """Enable tracing for the duration of the ``with`` block.
 
     Captures nest (the inner capture shadows the outer one); objects
@@ -256,11 +289,20 @@ def capture(context: Optional[dict] = None,
     registry at that simulated-time interval (see
     :mod:`repro.obs.timeseries`); ``on_sample`` is called with each sample
     record as it is emitted (the ``--live`` dashboard).
+
+    ``record=True`` keeps the full flight-recorder event stream
+    (``tr.record_records()`` / ``--record OUT``); ``watchdogs=True`` runs
+    the online invariant engine over the stream, bounding memory with a
+    ring of ``ring`` events when the full stream is not kept.
+    ``keep_spans=False`` validates span emissions but discards them — the
+    harness uses it when only watchdogs are wanted, so an always-on run
+    does not accumulate an unbounded span list.
     """
     global _active
     previous = _active
     _active = Tracer(context=context, series_interval=series_interval,
-                     on_sample=on_sample)
+                     on_sample=on_sample, record=record, watchdogs=watchdogs,
+                     ring=ring, keep_spans=keep_spans)
     try:
         yield _active
     finally:

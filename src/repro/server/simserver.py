@@ -81,6 +81,11 @@ class MailServerSim:
         if self._tr is not None:
             # time-series sampling: diff this server's registry per window
             sim.series_attach(self._run, self.metrics.registry)
+        self._rec = tr.recorder if tr.enabled else None
+        if self._rec is not None:
+            self._rec.emit("run.begin", sim.now, self._run,
+                           attrs={"arch": config.architecture,
+                                  "storage": config.storage_backend})
         self._conn_ids = itertools.count(1)
 
         self.cpu = CPU(sim, cores=1,
@@ -133,6 +138,9 @@ class MailServerSim:
         self.metrics.connections_started += 1
         cid = next(self._conn_ids)
         t_conn = self.sim.now
+        if self._rec is not None:
+            self._rec.emit("conn.open", t_conn, self._run, cid,
+                           {"ip": conn.client_ip})
         if not self._idle and (len(self._workers) + self._forking
                                < self.config.process_limit):
             # reserve the slot before the fork blocks, so concurrent
@@ -145,6 +153,9 @@ class MailServerSim:
             self._forking -= 1
             worker = _Worker(next(self._pids),
                              Store(self.sim, capacity=1))
+            if self._rec is not None:
+                self._rec.emit("fork", self.sim.now, self._run, cid,
+                               {"pid": worker.pid})
             self._workers.append(worker)
             self._idle.append(worker)
             self.sim.process(self._vanilla_worker_loop(worker),
@@ -198,6 +209,9 @@ class MailServerSim:
         self.metrics.connections_started += 1
         cid = next(self._conn_ids)
         t_conn = self.sim.now
+        if self._rec is not None:
+            self._rec.emit("conn.open", t_conn, self._run, cid,
+                           {"ip": conn.client_ip})
         outcome = yield from self._run_envelope(conn, MASTER_PID,
                                                 event_mode=True,
                                                 cid=cid, t_conn=t_conn)
@@ -216,6 +230,9 @@ class MailServerSim:
         if self._tr is not None:
             self._tr.emit(self._run, cid, "delegate", t_deleg, self.sim.now,
                           {"queue_depth": len(worker.inbox)})
+        if self._rec is not None:
+            self._rec.emit("delegate", self.sim.now, self._run, cid,
+                           {"depth": len(worker.inbox)})
 
     def _pick_hybrid_worker(self) -> _Worker:
         """Round-robin over the worker pool, growing it up to the limit."""
@@ -292,6 +309,9 @@ class MailServerSim:
                 if self._tr is not None:
                     self._tr.emit(self._run, cid, "envelope", t0, sim.now,
                                   {"mode": mode, "outcome": "rejected"})
+                if self._rec is not None:
+                    self._rec.emit("envelope.done", sim.now, self._run, cid,
+                                   {"mode": mode, "outcome": "rejected"})
                 self._finish(conn, t0, rejected=True,
                              cid=cid, t_conn=t_conn, outcome="rejected")
                 return None
@@ -303,18 +323,28 @@ class MailServerSim:
             if self._tr is not None:
                 self._tr.emit(self._run, cid, "envelope", t0, sim.now,
                               {"mode": mode, "outcome": "unfinished"})
+            if self._rec is not None:
+                self._rec.emit("envelope.done", sim.now, self._run, cid,
+                               {"mode": mode, "outcome": "unfinished"})
             self._finish(conn, t0, cid=cid, t_conn=t_conn,
                          outcome="unfinished")
             return None
 
+        rec = self._rec
         for index, mail in enumerate(conn.mails):
             yield from cpu.compute(pid, command_cost)        # MAIL FROM
+            if rec is not None:
+                rec.emit("smtp.mail", sim.now, self._run, cid,
+                         {"rcpts": len(mail.recipients)})
             yield sim.timeout(costs.rtt)
             for r_index, rcpt in enumerate(mail.recipients):
                 yield from cpu.compute(
                     pid, command_cost + costs.rcpt_lookup_cost)
                 self.metrics.rcpts_accepted += rcpt.valid
                 self.metrics.rcpts_rejected += not rcpt.valid
+                if rec is not None:
+                    rec.emit("smtp.rcpt", sim.now, self._run, cid,
+                             {"valid": rcpt.valid})
                 yield sim.timeout(costs.rtt)
                 if rcpt.valid:
                     # fork-after-trust boundary: first valid recipient.
@@ -323,6 +353,9 @@ class MailServerSim:
                     if self._tr is not None:
                         self._tr.emit(self._run, cid, "envelope", t0, sim.now,
                                       {"mode": mode, "outcome": "trusted"})
+                    if rec is not None:
+                        rec.emit("envelope.done", sim.now, self._run, cid,
+                                 {"mode": mode, "outcome": "trusted"})
                     return (_TrustedMail(mail, r_index + 1),
                             conn.mails[index + 1:])
             # every recipient of this mail bounced; next MAIL (if any)
@@ -331,6 +364,9 @@ class MailServerSim:
         if self._tr is not None:
             self._tr.emit(self._run, cid, "envelope", t0, sim.now,
                           {"mode": mode, "outcome": "bounce"})
+        if self._rec is not None:
+            self._rec.emit("envelope.done", sim.now, self._run, cid,
+                           {"mode": mode, "outcome": "bounce"})
         self._finish(conn, t0, cid=cid, t_conn=t_conn, outcome="bounce")
         return None
 
@@ -342,17 +378,24 @@ class MailServerSim:
         cpu, sim = self.cpu, self.sim
         t0 = sim.now
 
+        rec = self._rec
         mail = trusted.mail
         for rcpt in mail.recipients[trusted.validated_rcpts:]:
             yield from cpu.compute(
                 pid, costs.command_cost + costs.rcpt_lookup_cost)
             self.metrics.rcpts_accepted += rcpt.valid
             self.metrics.rcpts_rejected += not rcpt.valid
+            if rec is not None:
+                rec.emit("smtp.rcpt", sim.now, self._run, cid,
+                         {"valid": rcpt.valid})
             yield sim.timeout(costs.rtt)
         yield from self._receive_data(mail, pid, cid)
 
         for mail in remaining:
             yield from cpu.compute(pid, costs.command_cost)  # MAIL FROM
+            if rec is not None:
+                rec.emit("smtp.mail", sim.now, self._run, cid,
+                         {"rcpts": len(mail.recipients)})
             yield sim.timeout(costs.rtt)
             any_valid = False
             for rcpt in mail.recipients:
@@ -360,6 +403,9 @@ class MailServerSim:
                     pid, costs.command_cost + costs.rcpt_lookup_cost)
                 self.metrics.rcpts_accepted += rcpt.valid
                 self.metrics.rcpts_rejected += not rcpt.valid
+                if rec is not None:
+                    rec.emit("smtp.rcpt", sim.now, self._run, cid,
+                             {"valid": rcpt.valid})
                 yield sim.timeout(costs.rtt)
                 any_valid = any_valid or rcpt.valid
             if any_valid:
@@ -385,6 +431,9 @@ class MailServerSim:
         if self._tr is not None:
             self._tr.emit(self._run, cid, "data", t0, self.sim.now,
                           {"bytes": mail.size})
+        if self._rec is not None:
+            self._rec.emit("data", self.sim.now, self._run, cid,
+                           {"bytes": mail.size})
         if self.config.discard_delivery:
             # sinkhole mode: accept, count, and drop (no mailbox writes)
             return
@@ -429,6 +478,9 @@ class MailServerSim:
         if self._tr is not None:
             self._tr.emit(self._run, cid, "connection", t_conn, self.sim.now,
                           {"outcome": outcome})
+        if self._rec is not None:
+            self._rec.emit("conn.close", self.sim.now, self._run, cid,
+                           {"outcome": outcome})
 
     # ----------------------------------------------------------- delivery --
     def _delivery_loop(self, pid: int):
@@ -459,6 +511,9 @@ class MailServerSim:
             if self._tr is not None:
                 self._tr.emit(self._run, cid, "delivery", t0, self.sim.now,
                               {"rcpts": n_rcpts, "bytes": size})
+            if self._rec is not None:
+                self._rec.emit("delivery", self.sim.now, self._run, cid,
+                               {"rcpts": n_rcpts, "bytes": size})
 
 
 class _TrustedMail:

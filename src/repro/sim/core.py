@@ -470,7 +470,8 @@ class Simulator:
 
     __slots__ = ("now", "_heap", "_seq", "_active_process", "_unhandled",
                  "_pool_max", "_timeout_pool", "events_processed",
-                 "steps_executed", "wall_seconds", "_obs", "_series")
+                 "steps_executed", "wall_seconds", "_obs", "_series",
+                 "_rec")
 
     def __init__(self, timeout_pool: Optional[int] = None):
         self.now: float = 0.0
@@ -493,6 +494,7 @@ class Simulator:
         tr = _obs_tracer()
         self._obs = tr if tr.enabled else None
         self._series = tr.series_cursor() if tr.enabled else None
+        self._rec = tr.recorder if tr.enabled else None
 
     # -- public API ---------------------------------------------------------
     def timeout(self, delay: float, value: Any = None) -> Timeout:
@@ -697,6 +699,11 @@ class Simulator:
             self.wall_seconds += wall
             if self._obs is not None:
                 self._obs.note_kernel(events, steps, wall)
+            if self._rec is not None:
+                # wall time is deliberately absent: recordings must be
+                # byte-identical across runs and --jobs counts
+                self._rec.emit("kernel.run", self.now,
+                               attrs={"events": events, "steps": steps})
         if until is not None:
             if self.now < until:
                 self.now = until

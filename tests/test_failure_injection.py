@@ -4,10 +4,12 @@ import asyncio
 
 import pytest
 
+from repro.core import make_dnsbl_bank
 from repro.errors import MfsError
 from repro.mfs import DataFile, KeyFile, MfsStore, fsck, repair
 from repro.mfs.layout import DATA_HEADER_SIZE, KEY_RECORD_SIZE
 from repro.net import NetServerConfig, SmtpServer
+from repro.obs import capture, check_events
 from repro.storage import MboxStore
 
 
@@ -71,6 +73,81 @@ class TestMfsCorruption:
         with pytest.raises(Exception):
             store.delete("a@d.com", message.mail_id)
         store.close()
+
+
+class TestWatchdogFaultInjection:
+    """Seeded corruptions must each yield exactly one typed violation.
+
+    These reuse the corruption scenarios above, but instead of asking
+    fsck to find the damage after the fact, they verify the invariant
+    watchdogs catch it from the event stream alone.
+    """
+
+    def test_dropped_refcount_decrement_flagged(self, tmp_path,
+                                                make_message):
+        with capture(record=True) as tr:
+            with MfsStore(tmp_path) as store:
+                message = make_message(["a@d.com", "b@d.com"])
+                store.deliver(message)
+                store.delete("a@d.com", message.mail_id)
+        records = list(tr.record_records())
+        assert check_events(records) == []    # the faithful stream is clean
+        # inject the §6 crash-window fault: the store "loses" the shared
+        # refcount decrement that should accompany a's delete
+        corrupted = [r for r in records
+                     if not (r.get("kind") == "mfs.refcount"
+                             and (r.get("attrs") or {}).get("delta") == -1)]
+        violations = check_events(corrupted)
+        assert len(violations) == 1
+        assert violations[0].invariant == "mfs-refcount"
+        assert message.mail_id in violations[0].message
+
+    def test_overstated_refcount_flagged_online(self, tmp_path,
+                                                make_message):
+        with capture(record=True) as tr:
+            with MfsStore(tmp_path) as store:
+                store.deliver(make_message(["a@d.com", "b@d.com"]))
+        records = list(tr.record_records())
+        for record in records:
+            if record.get("kind") == "mfs.refcount":
+                record["attrs"]["refcount"] += 1    # store over-reports
+        violations = check_events(records)
+        assert len(violations) == 1
+        assert violations[0].invariant == "mfs-refcount"
+        assert violations[0].event["kind"] == "mfs.refcount"
+
+    def test_poisoned_dnsbl_cache_hit_flagged(self):
+        from repro.dnsbl.resolver import _Cached
+
+        with capture(watchdogs=True) as tr:
+            bank = make_dnsbl_bank({"10.0.0.1"}, "ip", n_providers=1)
+            resolver = bank.resolvers[0]
+            assert resolver.lookup("10.0.0.1", now=0.0).listed   # fills
+            # poison the cache line: the entry "forgets" the listing but
+            # still answers as a hit
+            key = resolver.strategy.cache_key("10.0.0.1")
+            resolver.cache.put(key, _Cached(None), now=0.0)
+            result = resolver.lookup("10.0.0.1", now=1.0)
+            assert result.cache_hit and not result.listed
+            violations = tr.invariants.finish()
+        assert len(violations) == 1
+        assert violations[0].invariant == "dnsbl-coherence"
+        assert "10.0.0.1" in violations[0].message
+        assert violations[0].context            # ring context attached
+
+    def test_clean_store_session_raises_nothing(self, tmp_path,
+                                                make_message):
+        with capture(watchdogs=True) as tr:
+            with MfsStore(tmp_path) as store:
+                for i, rcpts in enumerate((["a@d.com"],
+                                           ["a@d.com", "b@d.com"],
+                                           ["b@d.com", "c@d.com"])):
+                    message = make_message(rcpts)
+                    store.deliver(message)
+                    if i == 1:
+                        store.delete("a@d.com", message.mail_id)
+            violations = tr.invariants.finish()
+        assert violations == []
 
 
 class TestHostileClients:

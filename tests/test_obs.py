@@ -15,10 +15,10 @@ from repro.clients import ClosedLoopClient
 from repro.core import make_dnsbl_bank
 from repro.harness.cli import main as cli_main
 from repro.harness.parallel import run_experiments
-from repro.obs import (BENCH_FIELDS, METRICS, NULL_TRACER, Counter,
-                       MetricsRegistry, ObsError, SERIES_FIELDS, SPANS,
-                       capture, read_trace, reconcile, trace_report, tracer,
-                       write_trace)
+from repro.obs import (BENCH_FIELDS, EVENTS, INVARIANTS, METRICS,
+                       NULL_TRACER, Counter, MetricsRegistry, ObsError,
+                       SERIES_FIELDS, SPANS, capture, read_trace, reconcile,
+                       trace_report, tracer, write_trace)
 from repro.server import MailServerSim, ServerConfig
 from repro.sim import Simulator
 from repro.traces import bounce_sweep_trace
@@ -398,3 +398,9 @@ class TestContractDocSync:
     def test_every_bench_field_documented(self):
         assert (self._documented("Benchmark artifact format")
                 == set(BENCH_FIELDS))
+
+    def test_every_event_documented(self):
+        assert self._documented("Event catalogue") == set(EVENTS)
+
+    def test_every_invariant_documented(self):
+        assert self._documented("Invariant catalogue") == set(INVARIANTS)

@@ -99,6 +99,44 @@ class ResultCache:
         tmp.write_text(json.dumps(payload, indent=1, sort_keys=True))
         os.replace(tmp, path)
 
+    # -- shard entries -----------------------------------------------------
+    # Shardable experiments cache per shard instead of per result, so a
+    # run at any ``--jobs`` (every job count executes the same shards)
+    # warms and reuses the same entries.
+
+    def _shard_path(self, experiment_id: str, scale: str, shard: str,
+                    seed: int) -> Path:
+        safe = shard.replace("/", "_")
+        return self.cache_dir / (
+            f"{experiment_id}-{scale}-{self.src_hash}-{seed}"
+            f"-shard-{safe}.json")
+
+    def get_shard(self, experiment_id: str, scale: str, shard: str,
+                  seed: int = 0) -> Optional[dict]:
+        """The cached payload of one shard, or ``None``."""
+        path = self._shard_path(experiment_id, scale, shard, seed)
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if (payload.get("version") != _ENTRY_VERSION
+                or payload.get("shard") != shard):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload["payload"]
+
+    def put_shard(self, experiment_id: str, scale: str, shard: str,
+                  payload: dict, seed: int = 0) -> None:
+        entry = {"version": _ENTRY_VERSION, "shard": shard,
+                 "payload": payload}
+        path = self._shard_path(experiment_id, scale, shard, seed)
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(entry, indent=1, sort_keys=True))
+        os.replace(tmp, path)
+
     def clear(self) -> int:
         """Delete every cache entry; returns the number removed."""
         removed = 0

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Optional, Sequence
 
 __all__ = ["Anchor", "ExperimentResult", "Experiment", "Scale"]
 
@@ -73,7 +73,11 @@ class ExperimentResult:
 
 
 class Experiment(abc.ABC):
-    """Base class: subclasses implement :meth:`run`."""
+    """Base class: subclasses implement :meth:`run` — or, for experiments
+    whose sweep decomposes into independent pieces, the shard API below,
+    which gives them intra-experiment parallelism under ``--jobs N`` for
+    free.
+    """
 
     #: short id used on the command line ("fig8", "table1", ...)
     experiment_id: str = ""
@@ -82,9 +86,41 @@ class Experiment(abc.ABC):
     #: what the paper section/figure shows
     description: str = ""
 
-    @abc.abstractmethod
+    # -- shard API ---------------------------------------------------------
+    # A *shard* is one independent slice of the experiment's sweep (one
+    # (parameter, variant) cell), named by a deterministic string.  The
+    # harness fans shards out across the worker pool and caches them
+    # individually; ``run`` composes the same pieces serially, so direct
+    # callers and ``--jobs 1`` share one code path with ``--jobs N``.
+
+    def shard_plan(self, scale: str = Scale.QUICK) -> Optional[list[str]]:
+        """Shard ids in reduction order, or ``None`` for monolithic runs."""
+        return None
+
+    def run_shard(self, scale: str, shard: str) -> dict:
+        """Run one shard; returns a JSON-serialisable payload."""
+        raise NotImplementedError(
+            f"{type(self).__name__} declares shards but no run_shard()")
+
+    def reduce_shards(self, scale: str,
+                      payloads: Sequence[dict]) -> ExperimentResult:
+        """Combine shard payloads (in ``shard_plan`` order) into a result."""
+        raise NotImplementedError(
+            f"{type(self).__name__} declares shards but no reduce_shards()")
+
     def run(self, scale: str = Scale.QUICK) -> ExperimentResult:
-        """Execute the experiment and return its result."""
+        """Execute the experiment and return its result.
+
+        The default implementation composes the shard API; monolithic
+        experiments override ``run`` directly.
+        """
+        shards = self.shard_plan(scale)
+        if shards is None:
+            raise NotImplementedError(
+                f"{type(self).__name__} implements neither run() nor the "
+                f"shard API")
+        return self.reduce_shards(
+            scale, [self.run_shard(scale, shard) for shard in shards])
 
     def result(self, columns: Sequence[str],
                scale: str) -> ExperimentResult:

@@ -229,35 +229,49 @@ class Figure8(Experiment):
     description = ("Vanilla postfix declines steadily with the bounce "
                    "ratio; fork-after-trust stays almost constant until 0.9.")
 
-    def run(self, scale: str = Scale.QUICK) -> ExperimentResult:
+    @staticmethod
+    def _params(scale: str) -> tuple[tuple, int, int]:
+        if scale == Scale.QUICK:
+            return (0.0, 0.5, 0.9), 2_000, 600
+        return ((0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9),
+                4_000, 600)
+
+    def shard_plan(self, scale: str = Scale.QUICK) -> list[str]:
+        ratios, _, _ = self._params(scale)
+        return [f"{b}:{arch}" for b in ratios
+                for arch in ("vanilla", "hybrid")]
+
+    def run_shard(self, scale: str, shard: str) -> dict:
+        _, n, conc = self._params(scale)
+        b_str, arch = shard.split(":")
+        b = float(b_str)
+        duration, warmup = _duration(scale)
+        trace = bounce_sweep_trace(b, n_connections=n)
+        config = (ServerConfig.vanilla() if arch == "vanilla"
+                  else ServerConfig.hybrid())
+        m = run_closed_timed(
+            trace, lambda s: MailServerSim(s, config),
+            concurrency=conc, duration=duration, warmup=warmup)
+        # normalise context switches per *good mail processed*: the two
+        # architectures run at different throughputs in a closed system,
+        # so raw per-window totals are not comparable
+        return {"bounce_ratio": b, "arch": arch, "goodput": m.goodput(),
+                "cs_per_mail": m.context_switches / max(1, m.mails_accepted)}
+
+    def reduce_shards(self, scale: str, payloads) -> ExperimentResult:
         result = self.result(
             ["bounce_ratio", "vanilla_goodput", "hybrid_goodput",
              "vanilla_cs_per_mail", "hybrid_cs_per_mail"], scale)
-        if scale == Scale.QUICK:
-            ratios = (0.0, 0.5, 0.9)
-            n, conc = 2_000, 600
-        else:
-            ratios = (0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9)
-            n, conc = 4_000, 600
-        duration, warmup = _duration(scale)
+        ratios, _, _ = self._params(scale)
+        cells = {(p["bounce_ratio"], p["arch"]): p for p in payloads}
         vanilla, hybrid, cs_v, cs_h = {}, {}, {}, {}
         for b in ratios:
-            trace = bounce_sweep_trace(b, n_connections=n)
-            mv = run_closed_timed(
-                trace, lambda s: MailServerSim(s, ServerConfig.vanilla()),
-                concurrency=conc, duration=duration, warmup=warmup)
-            mh = run_closed_timed(
-                trace, lambda s: MailServerSim(s, ServerConfig.hybrid()),
-                concurrency=conc, duration=duration, warmup=warmup)
-            vanilla[b], hybrid[b] = mv.goodput(), mh.goodput()
-            # normalise context switches per *good mail processed*: the two
-            # architectures run at different throughputs in a closed system,
-            # so raw per-window totals are not comparable
-            cs_v[b] = mv.context_switches / max(1, mv.mails_accepted)
-            cs_h[b] = mh.context_switches / max(1, mh.mails_accepted)
+            mv, mh = cells[(b, "vanilla")], cells[(b, "hybrid")]
+            vanilla[b], hybrid[b] = mv["goodput"], mh["goodput"]
+            cs_v[b], cs_h[b] = mv["cs_per_mail"], mh["cs_per_mail"]
             result.add_row(bounce_ratio=b,
-                           vanilla_goodput=fmt(mv.goodput(), 1),
-                           hybrid_goodput=fmt(mh.goodput(), 1),
+                           vanilla_goodput=fmt(vanilla[b], 1),
+                           hybrid_goodput=fmt(hybrid[b], 1),
                            vanilla_cs_per_mail=fmt(cs_v[b], 1),
                            hybrid_cs_per_mail=fmt(cs_h[b], 1))
         peak = vanilla[0.0]
@@ -288,27 +302,41 @@ class _StorageFigure(Experiment):
     fs_model = EXT3
     fs_name = "ext3"
 
-    def run(self, scale: str = Scale.QUICK) -> ExperimentResult:
-        result = self.result(
-            ["recipients", "mfs", "mbox", "maildir", "hardlink"], scale)
-        if scale == Scale.QUICK:
-            rcpts = (1, 15)
-        else:
-            rcpts = (1, 3, 5, 10, 15)
-        n_seq = {1: 400, 3: 800, 5: 1000, 10: 1500, 15: 2000}
+    #: storage backends swept, in column order
+    BACKENDS = ("mfs", "mbox", "maildir", "hardlink")
+    #: trace length per recipient count
+    N_SEQ = {1: 400, 3: 800, 5: 1000, 10: 1500, 15: 2000}
+
+    @staticmethod
+    def _rcpts(scale: str) -> tuple:
+        return (1, 15) if scale == Scale.QUICK else (1, 3, 5, 10, 15)
+
+    def shard_plan(self, scale: str = Scale.QUICK) -> list[str]:
+        return [f"{r}:{backend}" for r in self._rcpts(scale)
+                for backend in self.BACKENDS]
+
+    def run_shard(self, scale: str, shard: str) -> dict:
+        r_str, backend = shard.split(":")
+        r = int(r_str)
         # the disk-bound backends need the full window to reach steady state
         duration, warmup = 40.0, 10.0
-        table: dict[tuple[str, int], float] = {}
-        for r in rcpts:
-            trace = recipient_sequence_trace(r, n_sequences=n_seq[r])
+        trace = recipient_sequence_trace(r, n_sequences=self.N_SEQ[r])
+        cfg = ServerConfig.storage_experiment(backend, self.fs_model)
+        m = run_closed_timed(
+            trace, lambda s: MailServerSim(s, cfg),
+            concurrency=400, duration=duration, warmup=warmup)
+        return {"recipients": r, "backend": backend,
+                "throughput": m.delivery_throughput()}
+
+    def reduce_shards(self, scale: str, payloads) -> ExperimentResult:
+        result = self.result(
+            ["recipients", "mfs", "mbox", "maildir", "hardlink"], scale)
+        table = {(p["backend"], p["recipients"]): p["throughput"]
+                 for p in payloads}
+        for r in self._rcpts(scale):
             row = {"recipients": r}
-            for backend in ("mfs", "mbox", "maildir", "hardlink"):
-                cfg = ServerConfig.storage_experiment(backend, self.fs_model)
-                m = run_closed_timed(
-                    trace, lambda s, c=cfg: MailServerSim(s, c),
-                    concurrency=400, duration=duration, warmup=warmup)
-                table[(backend, r)] = m.delivery_throughput()
-                row[backend] = fmt(m.delivery_throughput(), 0)
+            for backend in self.BACKENDS:
+                row[backend] = fmt(table[(backend, r)], 0)
             result.add_row(**row)
         self.add_anchors(result, table)
         return result

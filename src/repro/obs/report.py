@@ -11,6 +11,10 @@ Five sections:
   attributed to exclusive envelope/dnsbl/fork/delegate/data/other
   segments, plus the top-K slowest-connection exemplars and its own
   blamed-vs-raw reconciliation (:mod:`repro.obs.critical_path`);
+* **kernel scheduler** — per experiment: events processed, generator
+  resumes, tombstone skips (cancelled timeouts dropped lazily by the
+  event queue) and the peak queue depth, from the capture-level metric
+  dumps — scheduler regressions stay diagnosable from the trace alone;
 * **reconciliation** — span-derived totals checked against the metrics
   registry dumps embedded in the same trace (the per-phase sums must
   agree with the aggregates the figures report to within 1%).
@@ -110,10 +114,24 @@ def trace_report(records: list[dict]) -> tuple[str, bool]:
     counts_by_arch: dict[tuple, dict] = defaultdict(
         lambda: defaultdict(int))
 
+    kernel_by_exp: dict[str, dict] = defaultdict(lambda: defaultdict(float))
+
     for record in records:
         exp = record.get("exp", "")
         if record["type"] == "run":
             run_attrs[(exp, record["run"])] = record.get("attrs", {})
+        elif record["type"] == "metrics" and record.get("run", 0) == 0:
+            # capture-level dump: kernel totals for this experiment (one
+            # record per shard; counters sum, the depth gauge takes max)
+            bucket = kernel_by_exp[exp]
+            for name, dump in record["metrics"].items():
+                if not name.startswith("kernel."):
+                    continue
+                value = _metric_value(dump)
+                if name == "kernel.queue_depth_peak":
+                    bucket[name] = max(bucket[name], value)
+                else:
+                    bucket[name] += value
         elif record["type"] == "span":
             phase = record["phase"]
             spans_by_phase[(exp, phase)].append(record["t1"] - record["t0"])
@@ -167,6 +185,20 @@ def trace_report(records: list[dict]) -> tuple[str, bool]:
     lines.append("")
     cp_text, cp_ok = critical_path_report(records)
     lines.append(cp_text)
+
+    lines.append("")
+    lines.append("kernel scheduler")
+    lines.append(f"{'experiment':<14}{'events':>12}{'steps':>12}"
+                 f"{'tomb-skips':>12}{'depth-peak':>12}")
+    for exp in sorted(kernel_by_exp):
+        kernel = kernel_by_exp[exp]
+        lines.append(
+            f"{exp:<14}{kernel['kernel.events']:>12.0f}"
+            f"{kernel['kernel.steps']:>12.0f}"
+            f"{kernel['kernel.tombstone_skips']:>12.0f}"
+            f"{kernel['kernel.queue_depth_peak']:>12.0f}")
+    if not kernel_by_exp:
+        lines.append("(no kernel metrics in trace)")
 
     lines.append("")
     lines.append("reconciliation: spans vs metrics registry (tolerance 1%)")

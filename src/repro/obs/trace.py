@@ -55,7 +55,7 @@ class Tracer:
                  series_interval: Optional[float] = None,
                  on_sample=None, record: bool = False,
                  watchdogs: bool = False, ring: Optional[int] = None,
-                 keep_spans: bool = True):
+                 keep_spans: bool = True, run_base: int = 0):
         self.registry = registry if registry is not None else MetricsRegistry()
         self.context = dict(context or {})
         self._runs: list[tuple[int, dict]] = []
@@ -63,8 +63,11 @@ class Tracer:
         self._keep_spans = keep_spans
         self._metrics: list[tuple[int, dict]] = []
         self._samples: list[dict] = []
-        self._next_run = 0
-        self._next_sim = 0
+        # run_base offsets run and simulator ids — the harness gives each
+        # intra-experiment shard its own base so ids stay globally unique
+        # when shard captures are merged into one trace/series/recording
+        self._next_run = run_base
+        self._next_sim = run_base
         self.series_interval = series_interval
         self._on_sample = on_sample
         # flight recorder + invariant watchdogs: ``record`` keeps the full
@@ -83,6 +86,10 @@ class Tracer:
         self._kernel_events = declare(self.registry, "kernel.events")
         self._kernel_steps = declare(self.registry, "kernel.steps")
         self._kernel_wall = declare(self.registry, "kernel.wall_seconds")
+        self._kernel_tombstones = declare(self.registry,
+                                          "kernel.tombstone_skips")
+        self._kernel_depth = declare(self.registry,
+                                     "kernel.queue_depth_peak")
 
     def set_context(self, **attrs: Any) -> None:
         """Attach ``attrs`` (e.g. the experiment id) to every record."""
@@ -107,11 +114,16 @@ class Tracer:
         """Attach a metrics-registry dump to ``run``."""
         self._metrics.append((run, dump))
 
-    def note_kernel(self, events: int, steps: int, wall: float) -> None:
+    def note_kernel(self, events: int, steps: int, wall: float,
+                    tombstones: int = 0, depth_peak: int = 0) -> None:
         """Called by ``Simulator.run`` (once per call) with its totals."""
         self._kernel_events.inc(events)
         self._kernel_steps.inc(steps)
         self._kernel_wall.inc(wall)
+        if tombstones:
+            self._kernel_tombstones.inc(tombstones)
+        if depth_peak > self._kernel_depth.value:
+            self._kernel_depth.set(depth_peak)
 
     def series_cursor(self):
         """A sampling cursor for a newly built simulator, or ``None``.
@@ -232,7 +244,8 @@ class NullTracer:
     def emit_metrics(self, run: int, dump: dict) -> None:
         pass
 
-    def note_kernel(self, events: int, steps: int, wall: float) -> None:
+    def note_kernel(self, events: int, steps: int, wall: float,
+                    tombstones: int = 0, depth_peak: int = 0) -> None:
         pass
 
     def series_cursor(self) -> None:
@@ -279,7 +292,8 @@ def active_registry() -> Optional[MetricsRegistry]:
 def capture(context: Optional[dict] = None,
             series_interval: Optional[float] = None,
             on_sample=None, record: bool = False, watchdogs: bool = False,
-            ring: Optional[int] = None, keep_spans: bool = True):
+            ring: Optional[int] = None, keep_spans: bool = True,
+            run_base: int = 0):
     """Enable tracing for the duration of the ``with`` block.
 
     Captures nest (the inner capture shadows the outer one); objects
@@ -297,12 +311,14 @@ def capture(context: Optional[dict] = None,
     ``keep_spans=False`` validates span emissions but discards them — the
     harness uses it when only watchdogs are wanted, so an always-on run
     does not accumulate an unbounded span list.
+    ``run_base`` offsets run/simulator ids (see :class:`Tracer`) — the
+    harness uses it to keep ids unique across intra-experiment shards.
     """
     global _active
     previous = _active
     _active = Tracer(context=context, series_interval=series_interval,
                      on_sample=on_sample, record=record, watchdogs=watchdogs,
-                     ring=ring, keep_spans=keep_spans)
+                     ring=ring, keep_spans=keep_spans, run_base=run_base)
     try:
         yield _active
     finally:

@@ -69,6 +69,7 @@ class MailServerSim:
         self.sim = sim
         self.config = config
         self.costs = config.costs
+        self._cmd_timeout = config.command_timeout
         self.resolver = resolver
         self.reject_blacklisted = reject_blacklisted
         self.metrics = ServerMetrics()
@@ -282,6 +283,26 @@ class MailServerSim:
         yield from self._run_data_phase(conn, mail, remaining, data_pid,
                                         cid, t_conn)
 
+    def _rtt(self):
+        """One client round-trip on the socket.
+
+        With ``command_timeout`` set the server arms a watchdog timer
+        before the read and disarms it once the reply arrives — postfix's
+        ``smtpd_timeout``, and exactly the arm/almost-always-cancel churn
+        of §5 that the kernel's lazy cancellation is built for.  The
+        emulated client always answers, so a guard that outlives the RTT
+        fires as a no-op: simulated behaviour is identical with or without
+        the watchdog; only the kernel-side event churn differs.
+        """
+        sim = self.sim
+        watchdog = self._cmd_timeout
+        if watchdog is None:
+            yield sim.timeout(self.costs.rtt)
+            return
+        guard = sim.timeout(watchdog)
+        yield sim.timeout(self.costs.rtt)
+        guard.cancel()
+
     def _run_envelope(self, conn: Connection, pid: int,
                       event_mode: bool, cid: int = 0, t_conn: float = 0.0):
         """Banner → HELO → (DNSBL) → MAIL/RCPT until the first valid RCPT.
@@ -301,7 +322,7 @@ class MailServerSim:
                         else costs.command_cost)
 
         yield from cpu.compute(pid, accept_cost)         # accept + banner
-        yield sim.timeout(costs.rtt)                     # banner → HELO
+        yield from self._rtt()                     # banner → HELO
         yield from cpu.compute(pid, command_cost)        # HELO
         if self.resolver is not None:
             rejected = yield from self._dnsbl_check(conn, pid, cid)
@@ -315,7 +336,7 @@ class MailServerSim:
                 self._finish(conn, t0, rejected=True,
                              cid=cid, t_conn=t_conn, outcome="rejected")
                 return None
-        yield sim.timeout(costs.rtt)
+        yield from self._rtt()
 
         if conn.unfinished:
             yield from cpu.compute(pid, command_cost)        # QUIT
@@ -336,7 +357,7 @@ class MailServerSim:
             if rec is not None:
                 rec.emit("smtp.mail", sim.now, self._run, cid,
                          {"rcpts": len(mail.recipients)})
-            yield sim.timeout(costs.rtt)
+            yield from self._rtt()
             for r_index, rcpt in enumerate(mail.recipients):
                 yield from cpu.compute(
                     pid, command_cost + costs.rcpt_lookup_cost)
@@ -345,7 +366,7 @@ class MailServerSim:
                 if rec is not None:
                     rec.emit("smtp.rcpt", sim.now, self._run, cid,
                              {"valid": rcpt.valid})
-                yield sim.timeout(costs.rtt)
+                yield from self._rtt()
                 if rcpt.valid:
                     # fork-after-trust boundary: first valid recipient.
                     # The already-validated recipient plus the rest of this
@@ -388,7 +409,7 @@ class MailServerSim:
             if rec is not None:
                 rec.emit("smtp.rcpt", sim.now, self._run, cid,
                          {"valid": rcpt.valid})
-            yield sim.timeout(costs.rtt)
+            yield from self._rtt()
         yield from self._receive_data(mail, pid, cid)
 
         for mail in remaining:
@@ -396,7 +417,7 @@ class MailServerSim:
             if rec is not None:
                 rec.emit("smtp.mail", sim.now, self._run, cid,
                          {"rcpts": len(mail.recipients)})
-            yield sim.timeout(costs.rtt)
+            yield from self._rtt()
             any_valid = False
             for rcpt in mail.recipients:
                 yield from cpu.compute(
@@ -406,7 +427,7 @@ class MailServerSim:
                 if rec is not None:
                     rec.emit("smtp.rcpt", sim.now, self._run, cid,
                              {"valid": rcpt.valid})
-                yield sim.timeout(costs.rtt)
+                yield from self._rtt()
                 any_valid = any_valid or rcpt.valid
             if any_valid:
                 yield from self._receive_data(mail, pid, cid)
@@ -419,14 +440,14 @@ class MailServerSim:
         costs = self.costs
         t0 = self.sim.now
         yield from self.cpu.compute(pid, costs.command_cost)  # DATA
-        yield self.sim.timeout(costs.rtt)                     # 354 → body
+        yield from self._rtt()                     # 354 → body
         yield from self.cpu.compute(
             pid, costs.data_fixed_cost + mail.size * costs.data_per_byte)
         if self.config.queue_files:
             for op in plan_queue_write(mail.size):
                 yield from self.disk.io(self.config.fs_model.cost(op),
                                         op.nbytes)
-        yield self.sim.timeout(costs.rtt)                     # 250 queued
+        yield from self._rtt()                     # 250 queued
         self.metrics.mails_accepted += 1
         if self._tr is not None:
             self._tr.emit(self._run, cid, "data", t0, self.sim.now,

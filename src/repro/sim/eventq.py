@@ -1,0 +1,443 @@
+"""Pluggable event-queue backends for :class:`repro.sim.core.Simulator`.
+
+The kernel's scheduling contract is total: entries fire in ``(time, seq)``
+order, where ``seq`` is the simulator's monotonically increasing push
+counter.  Two backends implement it:
+
+:class:`HeapQueue`
+    The classic binary heap (``heapq``) the engine has always used —
+    O(log n) push/pop, unbeatable for small queues, and the default.
+
+:class:`WheelQueue`
+    A hierarchical timing wheel for the paper's workload shape: huge
+    fan-in of short-lived spam connections, each arming per-command
+    timeouts that are almost always cancelled (§5, Figure 8).  Pushes are
+    O(1) list appends onto a pending batch; bucket placement is deferred
+    to the next refill, where cancelled (tombstoned) entries are filtered
+    wholesale with one list comprehension instead of sifting through a
+    global heap one O(log n) pop at a time.
+
+Wheel layout
+------------
+Simulated time is divided into *ticks* of ``granularity`` seconds — a
+power of two, by default sized from the inter-event deltas observed in
+the first pushes so a tick holds on the order of one event.
+
+* the **pending batch** receives every push at or beyond the drain
+  horizon as a plain ``list.append`` — the only per-push cost;
+* **level 0** maps a tick to its entry list for ticks near the cursor
+  (``L0_SPAN`` ticks ahead);
+* **level 1** maps a coarse bucket of ``2**L1_SHIFT`` ticks to its entry
+  list for the mid-range (``L1_SPAN`` buckets ahead);
+* the **spill list** holds the far future (long watchdogs, end-of-run
+  markers) as one ``insort``-maintained sorted list.
+
+Each refill first distributes the pending batch into the levels — after
+dropping entries that were cancelled before they were ever parked.
+
+Both levels are plain dicts keyed by absolute tick/bucket numbers — no
+modulo arithmetic, no wraparound ambiguity — with a lazy min-heap of
+occupied keys per level, so finding the next non-empty bucket never
+scans empty slots.
+
+Ordering-preservation argument
+------------------------------
+The wheel returns *exactly* the heap's total order:
+
+1. A bucket is drained through one sort on first pop (``list.sort`` on
+   ``(time, seq, event)`` tuples never reaches the event: ``(time, seq)``
+   is unique), so entries within a bucket come out in contract order.
+2. Buckets are drained in ascending tick order, and every entry in tick
+   ``T`` precedes every entry in tick ``T' > T`` in ``(time, seq)``
+   order, because time determines the tick monotonically.
+3. A push below the drain horizon (a zero-delay resume, an interrupt, a
+   resource grant at ``now``) cannot be parked in a future bucket; it is
+   insorted into the live ``ready`` run at its exact ``(time, seq)``
+   position.  Such entries always carry the largest ``seq`` so far and a
+   time ``>= now``, so the already-consumed prefix is never affected.
+4. Pending entries always have ``time >=`` the horizon at push time, the
+   horizon only advances during refills, and every refill distributes the
+   whole pending batch before selecting a bucket — so deferring placement
+   can never hide an entry from the pop it belongs to.
+5. Level-1 buckets *cascade* into level 0, and spill entries migrate
+   down, strictly before any level-0 tick they could precede is drained.
+
+Tombstones (lazy cancellation) keep their queue slot, so the
+interleaving of live and dead entries is the same under both backends
+and recordings stay byte-identical.  The wheel may drop a tombstone
+early — at distribute or cascade time — but only when it is due inside
+the current ``run()`` horizon, where the heap is guaranteed to pop and
+skip it within the same window, so per-window kernel metrics agree too.
+
+Backend selection
+-----------------
+``Simulator(queue=...)`` accepts an instance or a name; the ``REPRO_SCHED``
+environment variable (read per simulator construction) and the
+``repro-experiments --sched {heap,wheel}`` flag select by name.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_left, insort
+from heapq import heappop, heappush
+from typing import Optional
+
+__all__ = ["HeapQueue", "WheelQueue", "make_queue", "SCHED_BACKENDS",
+           "SchedStats"]
+
+#: default tick width (seconds) when auto-sizing has no deltas to go on
+DEFAULT_GRANULARITY = 2.0 ** -10
+
+
+class HeapQueue:
+    """The classic binary-heap backend (the engine's historical default).
+
+    ``Simulator.run`` inlines its hot path (``heappush``/``heappop`` on
+    ``_heap``); the methods here serve slower callers — ``peek``, stats,
+    and generic pushes when another backend is not installed.
+    """
+
+    name = "heap"
+
+    __slots__ = ("_heap", "depth_peak", "tombstone_skips")
+
+    def __init__(self):
+        self._heap: list = []
+        self.depth_peak = 0
+        self.tombstone_skips = 0
+
+    def push(self, time: float, seq: int, event) -> None:
+        heappush(self._heap, (time, seq, event))
+
+    def __len__(self) -> int:
+        """Entries in the queue, tombstoned (cancelled) ones included."""
+        return len(self._heap)
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next *live* entry; purges tombstones at the head."""
+        heap = self._heap
+        while heap:
+            time, seq, event = heap[0]
+            if event._entry_seq == seq:
+                return time
+            heappop(heap)
+            self.tombstone_skips += 1
+        return None
+
+    def stats(self) -> "SchedStats":
+        return SchedStats(backend=self.name, depth_peak=self.depth_peak,
+                          tombstone_skips=self.tombstone_skips)
+
+
+class WheelQueue:
+    """Hierarchical timing wheel with lazy cancellation (see module doc).
+
+    ``granularity`` fixes the tick width in seconds (use a power of two);
+    ``None`` sizes it automatically from the first ``SIZE_SAMPLE`` pushes'
+    inter-event deltas.
+    """
+
+    name = "wheel"
+
+    #: ticks directly indexable ahead of the cursor (level 0)
+    L0_SPAN = 256
+    #: ticks per level-1 bucket, as a shift (2**8 = 256)
+    L1_SHIFT = 8
+    #: level-1 buckets ahead of the cursor before entries spill
+    L1_SPAN = 64
+    #: pushes observed before the tick width is auto-sized
+    SIZE_SAMPLE = 64
+
+    __slots__ = ("_g", "_inv", "_cur", "_hz", "_ready", "ri", "_pending",
+                 "_l0", "_occ0", "_l1", "_occ1", "_spill", "_n",
+                 "_casc_skips", "depth_peak", "tombstone_skips", "spills",
+                 "cascades", "l0_pushes", "l1_pushes")
+
+    def __init__(self, granularity: Optional[float] = None):
+        if granularity is not None and granularity <= 0:
+            raise ValueError(f"granularity must be positive: {granularity!r}")
+        self._g = granularity
+        self._inv = 1.0 / granularity if granularity else 0.0
+        self._cur = 0                  # every tick < _cur is in ready/consumed
+        self._hz = 0.0                 # drain horizon: _cur * granularity
+        self._ready: list = []         # sorted run being drained
+        self.ri = 0                    # read index into _ready
+        self._pending: list = []       # pushes awaiting distribution; the
+        #                                list identity is stable forever so
+        #                                the kernel can cache a reference
+        self._l0: dict[int, list] = {}
+        self._occ0: list[int] = []     # lazy min-heap of occupied l0 ticks
+        self._l1: dict[int, list] = {}
+        self._occ1: list[int] = []     # lazy min-heap of occupied l1 buckets
+        self._spill: list = []         # sorted (time, seq, event) overflow
+        self._n = 0                    # parked entries (levels + ready),
+        #                                live and tombstoned; the pending
+        #                                batch counts via len() on demand
+        self._casc_skips = 0           # tombstones dropped before their pop
+        self.depth_peak = 0
+        self.tombstone_skips = 0
+        self.spills = 0
+        self.cascades = 0
+        self.l0_pushes = 0
+        self.l1_pushes = 0
+
+    # -- sizing -----------------------------------------------------------
+    def _finalize_sizing(self, sample: list) -> None:
+        """Pick a power-of-two tick width from the observed deltas.
+
+        The median inter-event delta puts on the order of one event per
+        tick; the span guard keeps the whole observed sample well inside
+        the level-1 horizon so a microsecond-spaced burst at the start of
+        a run cannot push every later timer onto the spill list.
+        """
+        times = sorted(entry[0] for entry in sample[:self.SIZE_SAMPLE])
+        gaps = sorted(b - a for a, b in zip(times, times[1:]) if b > a)
+        delta = gaps[len(gaps) // 2] if gaps else DEFAULT_GRANULARITY
+        span = times[-1] - times[0] if times else 0.0
+        horizon_ticks = (self.L1_SPAN << self.L1_SHIFT) // 4
+        delta = max(delta, span / horizon_ticks)
+        exponent = max(-20, min(0, math.floor(math.log2(delta))))
+        self._g = 2.0 ** exponent
+        self._inv = 1.0 / self._g
+
+    # -- push -------------------------------------------------------------
+    def push(self, time: float, seq: int, event) -> None:
+        if time >= self._hz:
+            # at or beyond the drain horizon: defer placement to the next
+            # refill.  This is the hot path and the kernel inlines it.
+            self._pending.append((time, seq, event))
+            return
+        self._n += 1
+        # behind the drain horizon: a zero-delay resume, grant or
+        # interrupt — insort into the live run at its (time, seq) slot.
+        # The run loop consumes entries without writing ``ri`` back per
+        # event, so first advance past the None-ed consumed prefix.
+        ready = self._ready
+        lo = self.ri
+        end = len(ready)
+        while lo < end and ready[lo] is None:
+            lo += 1
+        self.ri = lo
+        insort(ready, (time, seq, event), lo=lo)
+
+    # -- pop --------------------------------------------------------------
+    def _refill(self, limit: Optional[float] = None) -> Optional[list]:
+        """Load the next occupied tick into ``ready``; None when empty.
+
+        Cascades any level-1 bucket, and migrates any spill entries, that
+        could precede the next level-0 tick — the step that makes bucket
+        drains exhaustive and ordering exact.
+
+        When ``limit`` is given (``Simulator.run`` passes its horizon),
+        tombstoned entries due at or before it are dropped wholesale —
+        once when the pending batch is distributed, and again when a
+        level-1 bucket cascades — instead of being parked and skipped one
+        at a time; the count lands in ``_casc_skips`` for the run loop to
+        collect.  The heap backend is guaranteed to pop-and-skip exactly
+        those entries within the same ``run()`` window, so per-window
+        kernel metrics stay identical across backends.  Peek-path refills
+        pass no limit and filter nothing.
+        """
+        l0, occ0 = self._l0, self._occ0
+        l1, occ1 = self._l1, self._occ1
+        spill = self._spill
+        l0_get = l0.get
+        pending = self._pending
+        if pending:
+            if not self._inv:
+                self._finalize_sizing(pending)
+            inv = self._inv
+            if limit is not None:
+                batch = [e for e in pending
+                         if e[2]._entry_seq == e[1] or e[0] > limit]
+                dropped = len(pending) - len(batch)
+                if dropped:
+                    self._casc_skips += dropped
+            else:
+                batch = pending[:]
+            del pending[:]              # keep the list identity stable
+            self._n += len(batch)       # pending entries become parked
+            cur = self._cur
+            l0_lim = cur + self.L0_SPAN
+            shift = self.L1_SHIFT
+            l1_lim = (cur >> shift) + self.L1_SPAN
+            l1_get = l1.get
+            n0 = n1 = ns = 0
+            for entry in batch:
+                tick = int(entry[0] * inv)
+                # tick >= cur is structural: pending entries sit at or
+                # beyond the horizon of their push, and the horizon only
+                # advances here, after the batch has been distributed.
+                if tick < l0_lim:
+                    bucket = l0_get(tick)
+                    if bucket is None:
+                        l0[tick] = [entry]
+                        heappush(occ0, tick)
+                    else:
+                        bucket.append(entry)
+                    n0 += 1
+                    continue
+                key = tick >> shift
+                if key < l1_lim:
+                    bucket = l1_get(key)
+                    if bucket is None:
+                        l1[key] = [entry]
+                        heappush(occ1, key)
+                    else:
+                        bucket.append(entry)
+                    n1 += 1
+                    continue
+                insort(spill, entry)
+                ns += 1
+            self.l0_pushes += n0
+            self.l1_pushes += n1
+            self.spills += ns
+        inv = self._inv
+        while True:
+            t0 = None
+            while occ0:
+                tick = occ0[0]
+                if tick in l0:
+                    t0 = tick
+                    break
+                heappop(occ0)          # stale: bucket already drained
+            b1 = None
+            while occ1:
+                key = occ1[0]
+                if key in l1:
+                    b1 = key
+                    break
+                heappop(occ1)
+            migrate = None
+            if b1 is not None and (t0 is None
+                                   or (b1 << self.L1_SHIFT) <= t0):
+                # the level-1 bucket may hold ticks at or before t0
+                migrate = l1.pop(b1)
+                heappop(occ1)
+                self.cascades += 1
+            elif spill:
+                if t0 is None:
+                    # nothing nearer: jump the cursor to the spill front
+                    self._cur = int(spill[0][0] * inv)
+                    self._hz = self._cur * self._g
+                    cut = (self._cur + self.L0_SPAN) * self._g
+                else:
+                    cut = (t0 + 1) * self._g
+                idx = bisect_left(spill, (cut,))
+                if idx:
+                    migrate = spill[:idx]
+                    del spill[:idx]
+            if migrate is not None:
+                if limit is not None:
+                    live = [e for e in migrate
+                            if e[2]._entry_seq == e[1] or e[0] > limit]
+                    dropped = len(migrate) - len(live)
+                    if dropped:
+                        self._casc_skips += dropped
+                        self._n -= dropped
+                        migrate = live
+                # re-home into level 0 by exact tick — deliberately no
+                # window check: the push-side window is a sizing rule, not
+                # a correctness bound, and bouncing entries back up a
+                # level could loop forever
+                for entry in migrate:
+                    tick = int(entry[0] * inv)
+                    bucket = l0_get(tick)
+                    if bucket is None:
+                        l0[tick] = [entry]
+                        heappush(occ0, tick)
+                    else:
+                        bucket.append(entry)
+                continue
+            if t0 is None:
+                return None
+            heappop(occ0)
+            bucket = l0.pop(t0)
+            bucket.sort()              # per-bucket sort on first pop
+            self._cur = t0 + 1
+            self._hz = (t0 + 1) * self._g
+            self._ready = bucket
+            self.ri = 0
+            return bucket
+
+    def __len__(self) -> int:
+        """Entries in the queue, tombstoned (cancelled) ones included.
+
+        Diagnostic only: backends agree on every pop but may disagree on
+        how long already-cancelled entries linger, so mid-run lengths are
+        not comparable across backends.
+        """
+        return self._n + len(self._pending)
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next *live* entry; consumes tombstones on the way."""
+        while True:
+            ready, ri = self._ready, self.ri
+            while ri < len(ready):
+                entry = ready[ri]
+                if entry is not None and entry[2]._entry_seq == entry[1]:
+                    self.ri = ri
+                    return entry[0]
+                ready[ri] = None
+                ri += 1
+                self._n -= 1
+                self.tombstone_skips += 1
+            self.ri = ri
+            if self._refill() is None:
+                return None
+
+    def stats(self) -> "SchedStats":
+        return SchedStats(backend=self.name, depth_peak=self.depth_peak,
+                          tombstone_skips=self.tombstone_skips,
+                          spills=self.spills, cascades=self.cascades,
+                          l0_pushes=self.l0_pushes,
+                          l1_pushes=self.l1_pushes,
+                          granularity=self._g or 0.0)
+
+
+class SchedStats:
+    """Per-backend scheduler counters reported through ``kernel_stats()``."""
+
+    __slots__ = ("backend", "depth_peak", "tombstone_skips", "spills",
+                 "cascades", "l0_pushes", "l1_pushes", "granularity")
+
+    def __init__(self, backend: str = "heap", depth_peak: int = 0,
+                 tombstone_skips: int = 0, spills: int = 0,
+                 cascades: int = 0, l0_pushes: int = 0, l1_pushes: int = 0,
+                 granularity: float = 0.0):
+        self.backend = backend
+        self.depth_peak = depth_peak
+        self.tombstone_skips = tombstone_skips
+        self.spills = spills
+        self.cascades = cascades
+        self.l0_pushes = l0_pushes
+        self.l1_pushes = l1_pushes
+        self.granularity = granularity
+
+    def as_dict(self) -> dict:
+        return {slot: getattr(self, slot) for slot in self.__slots__}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"SchedStats({self.backend}, depth_peak={self.depth_peak}, "
+                f"tombstones={self.tombstone_skips}, spills={self.spills})")
+
+
+#: the selectable backends, by the names ``REPRO_SCHED`` / ``--sched`` use
+SCHED_BACKENDS = {"heap": HeapQueue, "wheel": WheelQueue}
+
+
+def make_queue(spec=None):
+    """Build a backend from a name, an instance, or ``None`` (default heap)."""
+    if spec is None:
+        return HeapQueue()
+    if isinstance(spec, str):
+        try:
+            return SCHED_BACKENDS[spec]()
+        except KeyError:
+            raise ValueError(
+                f"unknown event-queue backend {spec!r}; expected one of "
+                f"{sorted(SCHED_BACKENDS)}") from None
+    if isinstance(spec, (HeapQueue, WheelQueue)):
+        return spec
+    raise TypeError(f"queue must be a backend name or instance, got {spec!r}")

@@ -145,7 +145,12 @@ class Resource:
         sim = self.sim
         request._scheduled = True
         seq = sim._seq = sim._seq + 1
-        heapq.heappush(sim._heap, (sim.now, seq, request))
+        request._entry_seq = seq
+        heap = sim._qheap
+        if heap is not None:
+            heapq.heappush(heap, (sim.now, seq, request))
+        else:
+            sim._queue.push(sim.now, seq, request)
 
     def _pump(self) -> None:
         while self._queue and self.in_use < self.capacity:

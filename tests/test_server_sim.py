@@ -30,6 +30,32 @@ class TestConfig:
             ServerConfig(dnsbl_mode="both")
         with pytest.raises(ConfigError):
             ServerConfig(delivery_concurrency=0)
+        with pytest.raises(ConfigError):
+            ServerConfig(command_timeout=0.0)
+        with pytest.raises(ConfigError):
+            ServerConfig(command_timeout=-5.0)
+
+    def test_command_timeout_guard_is_behaviour_neutral(self):
+        """Arming the per-command watchdog must not change any server
+        metric — it only adds arm/cancel churn inside the kernel."""
+
+        def run(command_timeout):
+            sim = Simulator()
+            server = MailServerSim(
+                sim, ServerConfig.vanilla(command_timeout=command_timeout))
+            client = ClosedLoopClient(sim, server, small_trace(n=60),
+                                      concurrency=30)
+            client.start()
+            sim.run()
+            m = server.finalize(sim.now)
+            return (m.mails_accepted, m.connections_finished,
+                    m.context_switches, sim.now, sim.timeouts_cancelled)
+
+        plain = run(None)
+        guarded = run(5.0)
+        assert plain[:4] == guarded[:4]
+        assert plain[4] == 0                # no guards armed by default
+        assert guarded[4] > 0               # every round-trip armed one
 
     def test_factory_presets(self):
         assert ServerConfig.vanilla().process_limit == 500
